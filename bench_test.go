@@ -1,0 +1,232 @@
+package zerberr_test
+
+// Benchmark harness: one testing.B per evaluation artifact of the
+// paper (Figures 4-13 and the Section 6.6 bandwidth analysis) plus
+// micro-benchmarks of the moving parts (RSTF evaluation, element
+// codecs, protocol round trips, index building). The figure benches
+// regenerate their experiment end to end; `go test -bench .` therefore
+// doubles as the reproduction run. Use cmd/zerber-bench for charts and
+// larger scales.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	zerberr "zerberr"
+	"zerberr/internal/corpus"
+	"zerberr/internal/crypt"
+	"zerberr/internal/experiments"
+	"zerberr/internal/rank"
+	"zerberr/internal/rstf"
+	"zerberr/internal/stats"
+)
+
+// benchEnv is shared across figure benchmarks so corpora, indexes and
+// protocol replays are built once (they are cached inside the Env).
+var (
+	benchEnvOnce sync.Once
+	benchEnvInst *experiments.Env
+)
+
+func benchEnv() *experiments.Env {
+	benchEnvOnce.Do(func() {
+		benchEnvInst = experiments.NewEnv(0.08, 1)
+	})
+	return benchEnvInst
+}
+
+func benchExperiment(b *testing.B, id string) {
+	env := benchEnv()
+	// Warm the caches outside the timer.
+	if _, err := experiments.Run(id, env); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run(id, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig04TFDistribution(b *testing.B)     { benchExperiment(b, "fig04") }
+func BenchmarkFig05NormTFDistribution(b *testing.B) { benchExperiment(b, "fig05") }
+func BenchmarkFig07GaussianSum(b *testing.B)        { benchExperiment(b, "fig07") }
+func BenchmarkFig08ExampleRSTF(b *testing.B)        { benchExperiment(b, "fig08") }
+func BenchmarkFig09SigmaSelection(b *testing.B)     { benchExperiment(b, "fig09") }
+func BenchmarkFig10Workload(b *testing.B)           { benchExperiment(b, "fig10") }
+func BenchmarkFig11BandwidthOverhead(b *testing.B)  { benchExperiment(b, "fig11") }
+func BenchmarkFig12RequestCounts(b *testing.B)      { benchExperiment(b, "fig12") }
+func BenchmarkFig13QueryEfficiency(b *testing.B)    { benchExperiment(b, "fig13") }
+func BenchmarkSec66Bandwidth(b *testing.B)          { benchExperiment(b, "bandwidth") }
+func BenchmarkExtAMultiTermAccuracy(b *testing.B)   { benchExperiment(b, "accuracy") }
+func BenchmarkExtBAttackSimulations(b *testing.B)   { benchExperiment(b, "attacks") }
+func BenchmarkExtCAblations(b *testing.B)           { benchExperiment(b, "ablation") }
+
+// --- micro-benchmarks ---
+
+func benchScores(n int) []float64 {
+	g := stats.NewRNG(9)
+	out := make([]float64, n)
+	for i := range out {
+		v := g.Float64()
+		out[i] = 0.001 + 0.2*v*v
+	}
+	return out
+}
+
+func BenchmarkRSTFTransform(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("train=%d", n), func(b *testing.B) {
+			f, err := rstf.New(benchScores(n), 1024)
+			if err != nil {
+				b.Fatal(err)
+			}
+			xs := benchScores(256)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.Transform(xs[i%len(xs)])
+			}
+		})
+	}
+}
+
+func BenchmarkRSTFTrainWithCrossValidation(b *testing.B) {
+	train := benchScores(200)
+	control := benchScores(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rstf.Train(train, control, nil, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkElementSeal(b *testing.B) {
+	key := crypt.KeyFromPassphrase("bench")
+	el := crypt.Element{Doc: 1234, Term: 567, Score: 0.0625}
+	for _, codec := range []crypt.ElementCodec{crypt.GCMCodec{}, crypt.Compact64Codec{}} {
+		b.Run(codec.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := codec.Seal(el, key); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkElementOpen(b *testing.B) {
+	key := crypt.KeyFromPassphrase("bench")
+	el := crypt.Element{Doc: 1234, Term: 567, Score: 0.0625}
+	for _, codec := range []crypt.ElementCodec{crypt.GCMCodec{}, crypt.Compact64Codec{}} {
+		ct, err := codec.Seal(el, key)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(codec.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := codec.Open(ct, key); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchSystem builds a small indexed deployment once for the protocol
+// benchmarks.
+var (
+	benchSysOnce sync.Once
+	benchSys     *zerberr.System
+	benchSysErr  error
+)
+
+func getBenchSystem() (*zerberr.System, error) {
+	benchSysOnce.Do(func() {
+		p := corpus.ProfileStudIP()
+		p.NumDocs = 400
+		p.VocabSize = 4000
+		c := corpus.Generate(p, 5)
+		cfg := zerberr.DefaultConfig()
+		cfg.Seed = 5
+		cfg.Codec = crypt.Compact64Codec{}
+		benchSys, benchSysErr = zerberr.Setup(c, cfg)
+		if benchSysErr == nil {
+			benchSysErr = benchSys.IndexAll()
+		}
+	})
+	return benchSys, benchSysErr
+}
+
+func BenchmarkProtocolTopK(b *testing.B) {
+	sys, err := getBenchSystem()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl, err := sys.NewClient("bench-reader")
+	if err != nil {
+		b.Fatal(err)
+	}
+	terms := sys.Corpus.TermsByDF()
+	probe := []corpus.TermID{terms[0], terms[20], terms[200], terms[len(terms)/2]}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cl.TopKWithInitial(probe[i%len(probe)], 10, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBaselineTopK(b *testing.B) {
+	sys, err := getBenchSystem()
+	if err != nil {
+		b.Fatal(err)
+	}
+	terms := sys.Corpus.TermsByDF()
+	probe := []corpus.TermID{terms[0], terms[20], terms[200], terms[len(terms)/2]}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Baseline.TopK(probe[i%len(probe)], 10)
+	}
+}
+
+func BenchmarkIndexDocument(b *testing.B) {
+	sys, err := getBenchSystem()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl, err := sys.NewClient("bench-writer")
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc := sys.Corpus.Docs[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := &corpus.Document{
+			ID:     corpus.DocID(1_000_000 + i),
+			Group:  doc.Group,
+			Length: doc.Length,
+			TF:     doc.TF,
+		}
+		if err := cl.IndexDocument(d, d.Group); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRankTopK(b *testing.B) {
+	g := stats.NewRNG(13)
+	scores := make(map[corpus.DocID]float64, 10000)
+	for i := 0; i < 10000; i++ {
+		scores[corpus.DocID(i)] = g.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rank.TopK(scores, 10)
+	}
+}

@@ -1,0 +1,78 @@
+// Command zerber-bench regenerates the paper's evaluation artifacts:
+// every figure of the EDBT 2009 Zerber+R paper plus the extension
+// experiments documented in DESIGN.md.
+//
+// Usage:
+//
+//	zerber-bench -list
+//	zerber-bench -run fig11 [-scale 1] [-seed 1] [-csv results/]
+//	zerber-bench -run all -scale 0.5
+//
+// Scale 1 is the laptop default; the paper-sized collections are
+// roughly -scale 4 (Stud IP) and -scale 30 (ODP).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"zerberr/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("zerber-bench: ")
+	var (
+		list   = flag.Bool("list", false, "list experiment IDs and exit")
+		run    = flag.String("run", "all", "experiment ID to run, or 'all'")
+		scale  = flag.Float64("scale", 1, "corpus scale factor (1 = laptop default)")
+		seed   = flag.Uint64("seed", 1, "deterministic seed")
+		csvDir = flag.String("csv", "", "also write per-experiment CSV files into this directory")
+		quiet  = flag.Bool("q", false, "suppress progress logging")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	env := experiments.NewEnv(*scale, *seed)
+	if !*quiet {
+		env.Logf = func(format string, args ...interface{}) {
+			log.Printf(format, args...)
+		}
+	}
+
+	ids := experiments.IDs()
+	if *run != "all" {
+		ids = strings.Split(*run, ",")
+	}
+	for _, id := range ids {
+		start := time.Now()
+		res, err := experiments.Run(strings.TrimSpace(id), env)
+		if err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		fmt.Println(res.Render())
+		if !*quiet {
+			log.Printf("%s finished in %v", id, time.Since(start).Round(time.Millisecond))
+		}
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				log.Fatalf("creating %s: %v", *csvDir, err)
+			}
+			path := filepath.Join(*csvDir, res.ID+".csv")
+			if err := os.WriteFile(path, []byte(res.CSV()), 0o644); err != nil {
+				log.Fatalf("writing %s: %v", path, err)
+			}
+		}
+	}
+}

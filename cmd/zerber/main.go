@@ -1,0 +1,287 @@
+// Command zerber is the client-side CLI: it runs the offline
+// initialization over a directory of text documents (RSTF training +
+// merge plan), indexes documents into a zerberd server, and executes
+// confidential top-k queries.
+//
+// Usage:
+//
+//	zerber init  -docs ./corpus -out ./artifacts -r 32 [-pass phrase]
+//	zerber index -docs ./corpus -artifacts ./artifacts -server http://host:8021 -user john -pass phrase
+//	zerber query -artifacts ./artifacts -server http://host:8021 -user john -pass phrase -k 10 term
+//
+// Documents are .txt files; the immediate subdirectory of -docs names
+// the collaboration group (docs/<group>/<file>.txt; files directly in
+// -docs form group 0). For simplicity every group derives its key from
+// the same passphrase plus the group number.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"zerberr/internal/client"
+	"zerberr/internal/corpus"
+	"zerberr/internal/crypt"
+	"zerberr/internal/rstf"
+	"zerberr/internal/zerber"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("zerber: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "init":
+		cmdInit(os.Args[2:])
+	case "index":
+		cmdIndex(os.Args[2:])
+	case "query":
+		cmdQuery(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: zerber {init|index|query} [flags]   (run a subcommand with -h for details)")
+	os.Exit(2)
+}
+
+// loadDocs reads the corpus directory: group subdirectories holding
+// .txt files.
+func loadDocs(dir string) ([]corpus.RawDoc, []string, error) {
+	var raws []corpus.RawDoc
+	var names []string
+	groups := map[string]int{}
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(path, ".txt") {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		groupName := "."
+		if parts := strings.Split(rel, string(filepath.Separator)); len(parts) > 1 {
+			groupName = parts[0]
+		}
+		if _, ok := groups[groupName]; !ok {
+			groups[groupName] = len(groups)
+		}
+		text, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		raws = append(raws, corpus.RawDoc{Text: string(text), Group: groups[groupName]})
+		names = append(names, rel)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(raws) == 0 {
+		return nil, nil, fmt.Errorf("no .txt documents under %s", dir)
+	}
+	return raws, names, nil
+}
+
+func cmdInit(args []string) {
+	fs := flag.NewFlagSet("init", flag.ExitOnError)
+	docs := fs.String("docs", "", "directory of training documents (required)")
+	out := fs.String("out", "artifacts", "output directory for plan + RSTF store")
+	r := fs.Float64("r", 32, "confidentiality parameter r")
+	seed := fs.Uint64("seed", 1, "deterministic seed")
+	_ = fs.Parse(args)
+	if *docs == "" {
+		log.Fatal("init: -docs is required")
+	}
+	raws, _, err := loadDocs(*docs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := corpus.Ingest(raws, nil)
+	log.Printf("ingested %d docs, %d distinct terms, %d groups", c.NumDocs(), c.DistinctTerms(), c.Groups)
+
+	split := corpus.NewSplit(c, 1.0, 0.33, *seed)
+	store := rstf.TrainStore(
+		corpus.TrainingScores(c, split.Train),
+		corpus.TrainingScores(c, split.Control),
+		rstf.StoreConfig{FallbackSeed: *seed},
+	)
+	plan, err := zerber.BFM(zerber.FromCorpus(c), *r)
+	if err != nil {
+		log.Fatalf("building merge plan: %v", err)
+	}
+	if err := plan.Verify(); err != nil {
+		log.Fatalf("merge plan verification: %v", err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	writeArtifact(filepath.Join(*out, "plan.bin"), plan.WriteTo)
+	writeArtifact(filepath.Join(*out, "rstf.bin"), store.WriteTo)
+	writeVocab(filepath.Join(*out, "vocab.txt"), c)
+	log.Printf("initialized: %d merged lists (r=%g), %d trained terms -> %s", plan.NumLists(), *r, store.Len(), *out)
+}
+
+func writeArtifact(path string, write func(w io.Writer) (int64, error)) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := write(f); err != nil {
+		log.Fatalf("writing %s: %v", path, err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// writeVocab persists the term dictionary (name per line, ID = line
+// number) so later runs resolve query terms identically.
+func writeVocab(path string, c *corpus.Corpus) {
+	var b strings.Builder
+	for t := corpus.TermID(0); int(t) < c.VocabSize; t++ {
+		b.WriteString(c.Term(t))
+		b.WriteByte('\n')
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// artifacts bundles what index/query need.
+type artifacts struct {
+	plan  *zerber.MergePlan
+	store *rstf.Store
+	vocab map[string]corpus.TermID
+}
+
+func loadArtifacts(dir string) artifacts {
+	pf, err := os.Open(filepath.Join(dir, "plan.bin"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pf.Close()
+	plan, err := zerber.ReadPlan(pf)
+	if err != nil {
+		log.Fatalf("reading plan: %v", err)
+	}
+	sf, err := os.Open(filepath.Join(dir, "rstf.bin"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sf.Close()
+	store, err := rstf.ReadStore(sf)
+	if err != nil {
+		log.Fatalf("reading RSTF store: %v", err)
+	}
+	vb, err := os.ReadFile(filepath.Join(dir, "vocab.txt"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	vocab := map[string]corpus.TermID{}
+	for i, line := range strings.Split(strings.TrimRight(string(vb), "\n"), "\n") {
+		vocab[line] = corpus.TermID(i)
+	}
+	return artifacts{plan: plan, store: store, vocab: vocab}
+}
+
+// groupPassphrase derives the per-group key passphrase from the user
+// passphrase.
+func groupPassphrase(pass string, g int) string {
+	return fmt.Sprintf("%s/group%d", pass, g)
+}
+
+func newClient(art artifacts, serverURL, user, pass string, groups int) *client.Client {
+	keys := map[int]crypt.GroupKey{}
+	for g := 0; g < groups; g++ {
+		keys[g] = crypt.KeyFromPassphrase(groupPassphrase(pass, g))
+	}
+	cl, err := client.New(client.HTTP{BaseURL: serverURL}, client.Config{
+		Plan:  art.plan,
+		Store: art.store,
+		Keys:  keys,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cl.Login(user); err != nil {
+		log.Fatalf("login: %v", err)
+	}
+	return cl
+}
+
+func cmdIndex(args []string) {
+	fs := flag.NewFlagSet("index", flag.ExitOnError)
+	docs := fs.String("docs", "", "directory of documents to index (required)")
+	artDir := fs.String("artifacts", "artifacts", "artifact directory from 'zerber init'")
+	serverURL := fs.String("server", "http://localhost:8021", "index server URL")
+	user := fs.String("user", "", "user name (required)")
+	pass := fs.String("pass", "", "group key passphrase (required)")
+	groups := fs.Int("groups", 16, "number of group keys to derive")
+	_ = fs.Parse(args)
+	if *docs == "" || *user == "" || *pass == "" {
+		log.Fatal("index: -docs, -user and -pass are required")
+	}
+	raws, names, err := loadDocs(*docs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := corpus.Ingest(raws, nil)
+	art := loadArtifacts(*artDir)
+	cl := newClient(art, *serverURL, *user, *pass, *groups)
+	for i, d := range c.Docs {
+		if err := cl.IndexDocument(d, d.Group); err != nil {
+			log.Fatalf("indexing %s: %v", names[i], err)
+		}
+	}
+	log.Printf("indexed %d documents", c.NumDocs())
+}
+
+func cmdQuery(args []string) {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	artDir := fs.String("artifacts", "artifacts", "artifact directory from 'zerber init'")
+	serverURL := fs.String("server", "http://localhost:8021", "index server URL")
+	user := fs.String("user", "", "user name (required)")
+	pass := fs.String("pass", "", "group key passphrase (required)")
+	groups := fs.Int("groups", 16, "number of group keys to derive")
+	k := fs.Int("k", 10, "number of results")
+	_ = fs.Parse(args)
+	terms := fs.Args()
+	if *user == "" || *pass == "" || len(terms) == 0 {
+		log.Fatal("query: -user, -pass and at least one query term are required")
+	}
+	art := loadArtifacts(*artDir)
+	cl := newClient(art, *serverURL, *user, *pass, *groups)
+	var ids []corpus.TermID
+	for _, term := range terms {
+		id, ok := art.vocab[strings.ToLower(term)]
+		if !ok {
+			log.Printf("term %q not in vocabulary, skipping", term)
+			continue
+		}
+		ids = append(ids, id)
+	}
+	if len(ids) == 0 {
+		log.Fatal("no known query terms")
+	}
+	results, stats, err := cl.Search(ids, *k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sort.SliceStable(results, func(i, j int) bool { return results[i].Score > results[j].Score })
+	for rank, r := range results {
+		fmt.Printf("%2d. doc %-8d score %.6f\n", rank+1, r.Doc, r.Score)
+	}
+	fmt.Printf("(%d requests, %d posting elements, %d bytes over the wire)\n",
+		stats.Requests, stats.Elements, stats.Bytes)
+}

@@ -1,0 +1,88 @@
+// Command zerberd runs an untrusted Zerber+R index server over HTTP.
+// It stores only sealed posting elements with their transformed
+// relevance scores; users, groups and everything else arrive through
+// the API (see internal/server for the endpoint list).
+//
+// Usage:
+//
+//	zerberd -addr :8021 -secret-file secret.key \
+//	        -user john=0,1 -user alice=1 [-token-ttl 1h]
+//
+// In a real deployment user registration would come from the
+// enterprise directory; the -user flags model that binding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"zerberr/internal/server"
+)
+
+// userFlags accumulates repeated -user NAME=G1,G2 flags.
+type userFlags map[string][]int
+
+func (u userFlags) String() string { return fmt.Sprintf("%v", map[string][]int(u)) }
+
+func (u userFlags) Set(v string) error {
+	name, groupsStr, ok := strings.Cut(v, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want NAME=G1,G2 — got %q", v)
+	}
+	var groups []int
+	for _, g := range strings.Split(groupsStr, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(g))
+		if err != nil {
+			return fmt.Errorf("bad group %q: %v", g, err)
+		}
+		groups = append(groups, n)
+	}
+	u[name] = groups
+	return nil
+}
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("zerberd: ")
+	var (
+		addr       = flag.String("addr", ":8021", "listen address")
+		secretFile = flag.String("secret-file", "", "file holding the token-signing secret (required)")
+		tokenTTL   = flag.Duration("token-ttl", time.Hour, "authentication token lifetime")
+		users      = userFlags{}
+	)
+	flag.Var(users, "user", "register NAME=G1,G2 (repeatable)")
+	flag.Parse()
+
+	if *secretFile == "" {
+		log.Fatal("-secret-file is required (the server cannot sign tokens without a secret)")
+	}
+	secret, err := os.ReadFile(*secretFile)
+	if err != nil {
+		log.Fatalf("reading secret: %v", err)
+	}
+	if len(secret) < 16 {
+		log.Fatalf("secret too short: %d bytes, want at least 16", len(secret))
+	}
+
+	srv := server.New(secret, *tokenTTL)
+	for name, groups := range users {
+		srv.RegisterUser(name, groups...)
+		log.Printf("registered user %q for groups %v", name, groups)
+	}
+
+	log.Printf("index server listening on %s", *addr)
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if err := httpSrv.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,38 @@
+// Package zerberr is a from-scratch Go reproduction of Zerber+R
+// (Zerr, Olmedilla, Nejdl, Siberski: "Zerber+R: Top-k Retrieval from a
+// Confidential Index", EDBT 2009): a privacy-preserving outsourced
+// inverted index that supports server-side top-k ranking without
+// revealing term statistics to the index server.
+//
+// # Architecture
+//
+// A deployment has three roles:
+//
+//   - Untrusted index server (internal/server): stores merged posting
+//     lists whose elements carry an encrypted payload plus a plaintext
+//     transformed relevance score (TRS); ranks by TRS; enforces group
+//     ACLs; serves ranked ranges for the progressive top-k protocol.
+//   - Trusted clients (internal/client): index documents (seal
+//     elements under group keys, compute TRS via the published RSTF)
+//     and execute queries (decrypt, filter, follow-up requests with
+//     doubling response sizes).
+//   - Offline initialization (this package's Setup): trains the
+//     relevance score transformation functions on a sample corpus
+//     (internal/rstf), builds the r-confidential merge plan
+//     (internal/zerber) and provisions keys.
+//
+// The package root offers the high-level System façade used by the
+// examples, the CLI tools and the experiment harness; the internal
+// packages are the building blocks a downstream system would embed.
+//
+// # Quick start
+//
+//	c := corpus.Generate(corpus.ProfileStudIP(), 1)
+//	sys, err := zerberr.Setup(c, zerberr.DefaultConfig())
+//	...
+//	cl, err := sys.NewClient("john", 0, 1) // groups 0 and 1
+//	results, stats, err := cl.TopK(termID, 10)
+//
+// See examples/quickstart for a complete runnable program and
+// DESIGN.md for the paper-to-package map.
+package zerberr

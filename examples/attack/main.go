@@ -1,0 +1,120 @@
+// Attack: what a compromised index server learns. Two identical
+// collections are indexed twice — once with raw relevance scores
+// visible to the server (the insecure Sections 3.3-3.4 baseline) and
+// once with Zerber+R's TRS. An adversary with background knowledge of
+// per-term score statistics then tries to tell the merged terms apart,
+// and the per-term value distributions are printed so the
+// uniformization is visible.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	zerberr "zerberr"
+	"zerberr/internal/corpus"
+	"zerberr/internal/crypt"
+	"zerberr/internal/stats"
+	"zerberr/internal/zerber"
+)
+
+func buildSystem(c *corpus.Corpus, identity bool) *zerberr.System {
+	cfg := zerberr.DefaultConfig()
+	cfg.Seed = 3
+	cfg.R = 4 // strong setting: mid-frequency terms merge
+	cfg.Codec = crypt.Compact64Codec{}
+	cfg.SkipBaseline = true
+	cfg.IdentityStore = identity
+	sys, err := zerberr.Setup(c, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.IndexAll(); err != nil {
+		log.Fatal(err)
+	}
+	return sys
+}
+
+// sparkline renders a tiny histogram of values within [lo, hi].
+func sparkline(vals []float64, lo, hi float64) string {
+	levels := []rune(" .:-=+*#%@")
+	h := stats.NewHistogram(lo, hi, 32)
+	for _, v := range vals {
+		h.Add(v)
+	}
+	maxBin := 0
+	for _, c := range h.Bins {
+		if c > maxBin {
+			maxBin = c
+		}
+	}
+	var b strings.Builder
+	for _, c := range h.Bins {
+		idx := 0
+		if maxBin > 0 {
+			idx = c * (len(levels) - 1) / maxBin
+		}
+		b.WriteRune(levels[idx])
+	}
+	return b.String()
+}
+
+func main() {
+	log.SetFlags(0)
+	p := corpus.ProfileStudIP()
+	p.NumDocs = 600
+	p.VocabSize = 6000
+	c := corpus.Generate(p, 3)
+
+	plain := buildSystem(c, true)
+	protected := buildSystem(c, false)
+
+	// Find a merged list with two terms.
+	var target zerber.ListID
+	var terms []corpus.TermID
+	for _, l := range plain.Server.Lists() {
+		ts := plain.Plan.Terms(l)
+		if len(ts) == 2 && plain.Server.ListLen(l) > 100 {
+			target, terms = l, ts
+			break
+		}
+	}
+	if terms == nil {
+		log.Fatal("no two-term merged list found")
+	}
+	fmt.Printf("merged posting list %d holds terms %q (df=%d) and %q (df=%d)\n\n",
+		target, c.Term(terms[0]), c.DF(terms[0]), c.Term(terms[1]), c.DF(terms[1]))
+
+	// What the server sees, per true term, under both systems.
+	codec := crypt.Compact64Codec{}
+	for _, sys := range []*zerberr.System{plain, protected} {
+		label := "Zerber+R TRS (uniformized)"
+		lo, hi := 0.0, 1.0
+		if sys.Store.Identity() {
+			label = "plain relevance scores"
+			hi = 0.05
+		}
+		l, _ := sys.Plan.ListOf(terms[0])
+		perTerm := map[corpus.TermID][]float64{}
+		for _, el := range sys.Server.Snapshot(l) {
+			plainEl, err := codec.Open(el.Sealed, sys.Keys[el.Group])
+			if err != nil {
+				log.Fatal(err)
+			}
+			perTerm[plainEl.Term] = append(perTerm[plainEl.Term], el.TRS)
+		}
+		fmt.Printf("server-visible ranking values — %s:\n", label)
+		for _, t := range terms {
+			fmt.Printf("  %-12q |%s| (%d elements)\n", c.Term(t), sparkline(perTerm[t], lo, hi), len(perTerm[t]))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("with plain scores the two terms occupy different value ranges an")
+	fmt.Println("adversary can match against background statistics; under the TRS both")
+	fmt.Println("rows are spread over the whole range. run `zerber-bench -run attacks`")
+	fmt.Println("for the full quantified attack suite, including the residual leaks the")
+	fmt.Println("reproduction uncovered (training-document re-identification and the")
+	fmt.Println("shared-score-atom fingerprint).")
+}

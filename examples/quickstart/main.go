@@ -1,0 +1,79 @@
+// Quickstart: build a small synthetic collection, initialize Zerber+R
+// (RSTF training + r-confidential merge plan), index everything, and
+// run a confidential top-k query — comparing the result and its cost
+// against the ordinary (non-confidential) inverted index.
+//
+// It also prints the paper's Figure 6 linear-projection example to
+// show what the RSTF generalizes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	zerberr "zerberr"
+	"zerberr/internal/corpus"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Figure 6 warm-up: a linear projection maps [0.5, 0.9] onto
+	// [0, 1] — the RSTF is the data-driven generalization whose local
+	// slope follows the score density.
+	f := func(x float64) float64 { return 2.5*x - 1.25 }
+	fmt.Println("Figure 6 linear projection f(x) = 2.5x - 1.25:")
+	for _, x := range []float64{0.5, 0.6, 0.7, 0.8, 0.9} {
+		fmt.Printf("  f(%.1f) = %.3f\n", x, f(x))
+	}
+	fmt.Println()
+
+	// 1. A small Stud IP-like collection.
+	profile := corpus.ProfileStudIP()
+	profile.NumDocs = 500
+	profile.VocabSize = 5000
+	c := corpus.Generate(profile, 42)
+	fmt.Printf("corpus: %d docs, %d distinct terms, %d groups\n",
+		c.NumDocs(), c.DistinctTerms(), c.Groups)
+
+	// 2. Offline initialization + index load.
+	cfg := zerberr.DefaultConfig()
+	cfg.Seed = 42
+	sys, err := zerberr.Setup(c, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.IndexAll(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("index: %d sealed posting elements in %d merged lists (r=%.0f)\n\n",
+		sys.Server.NumElements(), sys.Server.NumLists(), sys.Plan.R())
+
+	// 3. A confidential top-10 query.
+	cl, err := sys.NewClient("john")
+	if err != nil {
+		log.Fatal(err)
+	}
+	term := c.TermsByDF()[25]
+	results, stats, err := cl.TopK(term, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("top-10 for term %q (df=%d):\n", c.Term(term), c.DF(term))
+	for i, r := range results {
+		fmt.Printf("  %2d. doc %-6d score %.5f\n", i+1, r.Doc, r.Score)
+	}
+	fmt.Printf("cost: %d request(s), %d posting elements, %d bytes\n",
+		stats.Requests, stats.Elements, stats.Bytes)
+
+	// 4. Sanity: identical ranking to the ordinary inverted index.
+	baseline := sys.Baseline.TopK(term, 10)
+	same := len(results) == len(baseline)
+	for i := range results {
+		if same && results[i].Score != baseline[i].Score {
+			same = false
+		}
+	}
+	fmt.Printf("matches the ordinary inverted index exactly: %v\n", same)
+	fmt.Printf("(an ordinary index would return exactly k=10 elements; Zerber+R returned %d while hiding the term statistics)\n", stats.Elements)
+}

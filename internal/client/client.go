@@ -1,0 +1,391 @@
+// Package client implements the trusted Zerber+R client of Section
+// 5.2: it indexes documents (computing relevance scores, transforming
+// them with the published RSTF, sealing posting elements under group
+// keys) and executes top-k queries with the progressive follow-up
+// protocol, decrypting and filtering responses locally.
+package client
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"zerberr/internal/corpus"
+	"zerberr/internal/crypt"
+	"zerberr/internal/rank"
+	"zerberr/internal/rstf"
+	"zerberr/internal/server"
+	"zerberr/internal/zerber"
+)
+
+// Config wires a client to its initialization artifacts.
+type Config struct {
+	// Plan is the merge-plan dictionary mapping terms to merged lists.
+	Plan *zerber.MergePlan
+	// Store holds the published per-term RSTFs.
+	Store *rstf.Store
+	// Codec seals posting elements; nil means crypt.GCMCodec{}.
+	Codec crypt.ElementCodec
+	// Keys are the group keys this user holds.
+	Keys map[int]crypt.GroupKey
+	// InitialResponse is the Section 6.4 initial response size b;
+	// zero means 10 (the paper's recommended b=k for top-10).
+	InitialResponse int
+	// StrictTopK makes every top-k query provably exact by scanning
+	// until the list's TRS falls strictly below the k-th match's TRS.
+	// The default (false) follows the paper's cost model, extending the
+	// scan only when there is plateau evidence at the boundary
+	// (saturated TRS values or equal-TRS matches with distinct scores)
+	// — exact in all but adversarial plateau cases.
+	StrictTopK bool
+}
+
+// QueryStats accounts for the cost of one query, the quantities
+// Figures 11-13 are computed from.
+type QueryStats struct {
+	// Requests is the number of round trips (1 = no follow-ups).
+	Requests int
+	// Elements is the total number of posting elements returned
+	// (TRes of Equation 12 unless the list was exhausted earlier).
+	Elements int
+	// Bytes is Elements times the codec wire size.
+	Bytes int
+	// Exhausted reports that the server ran out of visible elements.
+	Exhausted bool
+}
+
+// Client is a Zerber+R user agent. It is not safe for concurrent use.
+type Client struct {
+	t      Transport
+	cfg    Config
+	user   string
+	tokens []crypt.Token
+	byGrp  map[int]crypt.Token
+}
+
+// ErrNotLoggedIn is returned when an operation needs authentication.
+var ErrNotLoggedIn = errors.New("client: not logged in")
+
+// ErrNoGroupKey is returned when the client lacks the key or token for
+// a group it tries to use.
+var ErrNoGroupKey = errors.New("client: missing group key or token")
+
+// New creates a client over the given transport.
+func New(t Transport, cfg Config) (*Client, error) {
+	if cfg.Plan == nil {
+		return nil, errors.New("client: config needs a merge plan")
+	}
+	if cfg.Store == nil {
+		return nil, errors.New("client: config needs an RSTF store")
+	}
+	if cfg.Codec == nil {
+		cfg.Codec = crypt.GCMCodec{}
+	}
+	if cfg.InitialResponse <= 0 {
+		cfg.InitialResponse = 10
+	}
+	return &Client{t: t, cfg: cfg}, nil
+}
+
+// Login authenticates against the index server and caches the issued
+// group tokens.
+func (c *Client) Login(user string) error {
+	toks, err := c.t.Login(user)
+	if err != nil {
+		return err
+	}
+	c.user = user
+	c.tokens = toks
+	c.byGrp = make(map[int]crypt.Token, len(toks))
+	for _, tok := range toks {
+		c.byGrp[tok.Group] = tok
+	}
+	return nil
+}
+
+// ListFor resolves the merged posting list of a term. Terms absent
+// from the merge plan (unseen at initialization, hence rare) are
+// hashed onto an existing list deterministically, so inserting clients
+// and querying clients agree without coordination.
+func (c *Client) ListFor(term corpus.TermID) zerber.ListID {
+	if l, ok := c.cfg.Plan.ListOf(term); ok {
+		return l
+	}
+	h := fnv.New32a()
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], uint32(term))
+	h.Write(b[:])
+	return zerber.ListID(h.Sum32() % uint32(c.cfg.Plan.NumLists()))
+}
+
+// IndexDocument builds, transforms, seals and uploads the posting
+// elements of one document on behalf of the given group (the online
+// insertion phase of Section 5).
+func (c *Client) IndexDocument(d *corpus.Document, group int) error {
+	if c.tokens == nil {
+		return ErrNotLoggedIn
+	}
+	key, okKey := c.cfg.Keys[group]
+	tok, okTok := c.byGrp[group]
+	if !okKey || !okTok {
+		return fmt.Errorf("%w: group %d", ErrNoGroupKey, group)
+	}
+	if d.Length == 0 {
+		return nil
+	}
+	for term, tf := range d.TF {
+		score := rank.NormTF(tf, d.Length)
+		trs := c.cfg.Store.TRS(term, d.ID, score)
+		sealed, err := c.cfg.Codec.Seal(crypt.Element{Doc: d.ID, Term: term, Score: score}, key)
+		if err != nil {
+			return fmt.Errorf("client: sealing element for term %d: %w", term, err)
+		}
+		el := server.StoredElement{Sealed: sealed, TRS: trs, Group: group}
+		if err := c.t.Insert(tok, c.ListFor(term), el); err != nil {
+			return fmt.Errorf("client: inserting element for term %d: %w", term, err)
+		}
+	}
+	return nil
+}
+
+// TopK answers a single-term top-k query with the default initial
+// response size.
+func (c *Client) TopK(term corpus.TermID, k int) ([]rank.Result, QueryStats, error) {
+	return c.TopKWithInitial(term, k, c.cfg.InitialResponse)
+}
+
+// TopKWithInitial runs the Section 5.2 protocol: fetch b elements,
+// decrypt, keep those of the queried term; while the top-k is not yet
+// certain and the list is not exhausted, issue follow-up requests of
+// doubling size (b, 2b, 4b, … — Equation 12).
+//
+// The RSTF is monotone but not strictly so: distinct scores can share
+// a TRS (saturation at the range ends, quantization, optional jitter),
+// and tied elements appear in arbitrary order. The client therefore
+// keeps scanning until the list's TRS falls strictly below the TRS of
+// its current k-th best match (minus the configured jitter width) —
+// past that point no unseen element of the term can outscore the
+// collected top-k — and ranks the matches by their decrypted scores.
+func (c *Client) TopKWithInitial(term corpus.TermID, k, b int) ([]rank.Result, QueryStats, error) {
+	var stats QueryStats
+	if c.tokens == nil {
+		return nil, stats, ErrNotLoggedIn
+	}
+	if k <= 0 {
+		return nil, stats, fmt.Errorf("client: k must be positive, got %d", k)
+	}
+	if b <= 0 {
+		b = c.cfg.InitialResponse
+	}
+	margin := c.cfg.Store.Jitter()
+	list := c.ListFor(term)
+	var matches []match
+	finish := func() []rank.Result {
+		sort.Slice(matches, func(i, j int) bool {
+			if matches[i].res.Score != matches[j].res.Score {
+				return matches[i].res.Score > matches[j].res.Score
+			}
+			return matches[i].res.Doc < matches[j].res.Doc
+		})
+		if len(matches) > k {
+			matches = matches[:k]
+		}
+		out := make([]rank.Result, len(matches))
+		for i, m := range matches {
+			out[i] = m.res
+		}
+		return out
+	}
+	offset := 0
+	batch := b
+	for {
+		resp, err := c.t.Query(c.tokens, list, offset, batch)
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.Requests++
+		stats.Elements += len(resp.Elements)
+		stats.Bytes += len(resp.Elements) * c.cfg.Codec.WireSize()
+		lastTRS := math.Inf(-1)
+		for _, el := range resp.Elements {
+			plain, err := c.openElement(el)
+			if err != nil {
+				return nil, stats, err
+			}
+			lastTRS = el.TRS
+			if plain.Term != term {
+				continue
+			}
+			matches = append(matches, match{res: rank.Result{Doc: plain.Doc, Score: plain.Score}, trs: el.TRS})
+		}
+		if resp.Exhausted {
+			stats.Exhausted = true
+			return finish(), stats, nil
+		}
+		if len(matches) >= k {
+			// TRS of the k-th best match by score: monotonicity means
+			// any unseen element beating it must carry a TRS at least
+			// that high (minus jitter), and the list is TRS-sorted.
+			kth := kthBestTRS(matches, k)
+			if lastTRS < kth-margin {
+				return finish(), stats, nil
+			}
+			// Boundary tie (kth == lastTRS up to the margin): an unseen
+			// element could only win on a TRS plateau. Without strict
+			// mode, stop unless a plateau is in evidence.
+			if !c.cfg.StrictTopK && margin == 0 && !plateauRisk(matches, kth) {
+				return finish(), stats, nil
+			}
+		}
+		offset += len(resp.Elements)
+		batch *= 2 // progressive response growth (Section 5.2)
+	}
+}
+
+// match pairs a decrypted result with the server-visible TRS it was
+// ranked by.
+type match struct {
+	res rank.Result
+	trs float64
+}
+
+// plateauRisk reports whether the boundary TRS might hide unseen
+// better-scored elements: it is saturated (exactly 0 or 1, where the
+// RSTF collapses out-of-range scores), or two collected matches with
+// different scores share a TRS (an observed flat segment).
+func plateauRisk(matches []match, kth float64) bool {
+	if kth <= 0 || kth >= 1 {
+		return true
+	}
+	byTRS := make(map[float64]float64, len(matches))
+	for _, m := range matches {
+		if prev, ok := byTRS[m.trs]; ok && prev != m.res.Score {
+			return true
+		}
+		byTRS[m.trs] = m.res.Score
+	}
+	return false
+}
+
+// kthBestTRS returns the TRS of the k-th best-by-score match.
+func kthBestTRS(matches []match, k int) float64 {
+	// matches is small (a bit over k); a partial selection is plenty.
+	tmp := append([]match(nil), matches...)
+	sort.Slice(tmp, func(i, j int) bool {
+		if tmp[i].res.Score != tmp[j].res.Score {
+			return tmp[i].res.Score > tmp[j].res.Score
+		}
+		return tmp[i].res.Doc < tmp[j].res.Doc
+	})
+	return tmp[k-1].trs
+}
+
+// openElement decrypts a stored element with the matching group key.
+func (c *Client) openElement(el server.StoredElement) (crypt.Element, error) {
+	key, ok := c.cfg.Keys[el.Group]
+	if !ok {
+		return crypt.Element{}, fmt.Errorf("%w: element of group %d", ErrNoGroupKey, el.Group)
+	}
+	plain, err := c.cfg.Codec.Open(el.Sealed, key)
+	if err != nil {
+		return crypt.Element{}, fmt.Errorf("client: opening element of group %d: %w", el.Group, err)
+	}
+	return plain, nil
+}
+
+// Search answers a multi-term query as a sequence of single-term
+// top-k queries whose scores are summed per document (Section 3.2:
+// IDF-free scoring, a deliberate confidentiality/accuracy trade-off).
+// Stats are accumulated across the per-term queries.
+func (c *Client) Search(terms []corpus.TermID, k int) ([]rank.Result, QueryStats, error) {
+	var total QueryStats
+	acc := make(map[corpus.DocID]float64)
+	exhaustedAll := true
+	for _, term := range terms {
+		res, st, err := c.TopK(term, k)
+		total.Requests += st.Requests
+		total.Elements += st.Elements
+		total.Bytes += st.Bytes
+		if err != nil {
+			return nil, total, err
+		}
+		if !st.Exhausted {
+			exhaustedAll = false
+		}
+		rank.Accumulate(acc, res)
+	}
+	total.Exhausted = exhaustedAll
+	return rank.TopK(acc, k), total, nil
+}
+
+// DeleteDocument removes every posting element of the document from
+// the index (the other half of "unlimited index update and insert
+// operations", Section 7). Because sealed payloads may be randomized
+// (AES-GCM), the client locates its elements by downloading and
+// decrypting each affected merged list, then asks the server to drop
+// the matching ciphertexts. Returns the number of elements removed.
+func (c *Client) DeleteDocument(d *corpus.Document, group int) (int, error) {
+	if c.tokens == nil {
+		return 0, ErrNotLoggedIn
+	}
+	tok, okTok := c.byGrp[group]
+	if _, okKey := c.cfg.Keys[group]; !okKey || !okTok {
+		return 0, fmt.Errorf("%w: group %d", ErrNoGroupKey, group)
+	}
+	// Group terms by merged list so each list is scanned once.
+	byList := make(map[zerber.ListID][]corpus.TermID)
+	for term := range d.TF {
+		l := c.ListFor(term)
+		byList[l] = append(byList[l], term)
+	}
+	removed := 0
+	for list, terms := range byList {
+		want := make(map[corpus.TermID]bool, len(terms))
+		for _, t := range terms {
+			want[t] = true
+		}
+		// Scan first, remove afterwards: removing while paginating
+		// would shift offsets and skip elements.
+		var victims [][]byte
+		offset := 0
+		for {
+			resp, err := c.t.Query(c.tokens, list, offset, 4096)
+			if err != nil {
+				return removed, err
+			}
+			for _, el := range resp.Elements {
+				if el.Group != group {
+					continue
+				}
+				plain, err := c.openElement(el)
+				if err != nil {
+					return removed, err
+				}
+				if plain.Doc == d.ID && want[plain.Term] {
+					victims = append(victims, el.Sealed)
+				}
+			}
+			if resp.Exhausted {
+				break
+			}
+			offset += len(resp.Elements)
+		}
+		for _, sealed := range victims {
+			if err := c.t.Remove(tok, list, sealed); err != nil {
+				return removed, err
+			}
+			removed++
+		}
+	}
+	return removed, nil
+}
+
+// User returns the logged-in user name, or "" before Login.
+func (c *Client) User() string { return c.user }
+
+// Codec exposes the configured element codec (experiments use it for
+// byte accounting).
+func (c *Client) Codec() crypt.ElementCodec { return c.cfg.Codec }

@@ -1,0 +1,113 @@
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"zerberr/internal/crypt"
+	"zerberr/internal/server"
+	"zerberr/internal/zerber"
+)
+
+// Transport abstracts how the client reaches the index server: in
+// process (experiments, tests) or over HTTP (outsourced deployment).
+type Transport interface {
+	Login(user string) ([]crypt.Token, error)
+	Insert(tok crypt.Token, list zerber.ListID, el server.StoredElement) error
+	Query(toks []crypt.Token, list zerber.ListID, offset, count int) (server.QueryResponse, error)
+	Remove(tok crypt.Token, list zerber.ListID, sealed []byte) error
+}
+
+// Local is the in-process transport.
+type Local struct {
+	S *server.Server
+}
+
+// Login implements Transport.
+func (l Local) Login(user string) ([]crypt.Token, error) { return l.S.Login(user) }
+
+// Insert implements Transport.
+func (l Local) Insert(tok crypt.Token, list zerber.ListID, el server.StoredElement) error {
+	return l.S.Insert(tok, list, el)
+}
+
+// Query implements Transport.
+func (l Local) Query(toks []crypt.Token, list zerber.ListID, offset, count int) (server.QueryResponse, error) {
+	return l.S.Query(toks, list, offset, count)
+}
+
+// Remove implements Transport.
+func (l Local) Remove(tok crypt.Token, list zerber.ListID, sealed []byte) error {
+	return l.S.Remove(tok, list, sealed)
+}
+
+// HTTP talks to a zerberd index server over its JSON API.
+type HTTP struct {
+	// BaseURL is the server root, e.g. "http://host:8021".
+	BaseURL string
+	// Client is the HTTP client; nil means http.DefaultClient.
+	Client *http.Client
+}
+
+func (h HTTP) httpClient() *http.Client {
+	if h.Client != nil {
+		return h.Client
+	}
+	return http.DefaultClient
+}
+
+// postJSON posts a request body and decodes the response into out,
+// translating error envelopes into errors.
+func (h HTTP) postJSON(path string, in, out interface{}) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("client: encoding request: %w", err)
+	}
+	resp, err := h.httpClient().Post(h.BaseURL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("client: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var eb struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&eb)
+		return fmt.Errorf("client: %s: server status %d: %s", path, resp.StatusCode, eb.Error)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: %s: decoding response: %w", path, err)
+	}
+	return nil
+}
+
+// Login implements Transport.
+func (h HTTP) Login(user string) ([]crypt.Token, error) {
+	var out server.LoginResponse
+	if err := h.postJSON("/v1/login", server.LoginRequest{User: user}, &out); err != nil {
+		return nil, err
+	}
+	return out.Tokens, nil
+}
+
+// Insert implements Transport.
+func (h HTTP) Insert(tok crypt.Token, list zerber.ListID, el server.StoredElement) error {
+	return h.postJSON("/v1/insert", server.InsertRequest{Token: tok, List: list, Element: el}, nil)
+}
+
+// Query implements Transport.
+func (h HTTP) Query(toks []crypt.Token, list zerber.ListID, offset, count int) (server.QueryResponse, error) {
+	var out server.QueryResponse
+	err := h.postJSON("/v1/query", server.QueryRequest{Tokens: toks, List: list, Offset: offset, Count: count}, &out)
+	return out, err
+}
+
+// Remove implements Transport.
+func (h HTTP) Remove(tok crypt.Token, list zerber.ListID, sealed []byte) error {
+	return h.postJSON("/v1/remove", server.RemoveRequest{Token: tok, List: list, Sealed: sealed}, nil)
+}

@@ -1,0 +1,115 @@
+// Package cluster shards merged posting lists across several index
+// servers — the paper's deployment model ("Zerber relies on a
+// centralized set of largely untrusted index servers", Section 3.1).
+// Each merged list lives on exactly one shard, chosen by a static hash
+// of its list ID, so no server ever holds the whole index and the
+// client-side protocol is unchanged: the Router implements
+// client.Transport and routes every operation to the owning shard.
+//
+// All shards must share the same token-signing secret and user
+// registry (they are operated by the same enterprise infrastructure;
+// each is still individually untrusted with respect to content).
+package cluster
+
+import (
+	"errors"
+	"time"
+
+	"zerberr/internal/client"
+	"zerberr/internal/crypt"
+	"zerberr/internal/server"
+	"zerberr/internal/zerber"
+)
+
+// Router fans a client's operations out to the shard owning each
+// merged posting list. It implements client.Transport.
+type Router struct {
+	shards []client.Transport
+}
+
+// NewRouter builds a router over the given shard transports (local
+// servers, HTTP endpoints, or a mix).
+func NewRouter(shards ...client.Transport) (*Router, error) {
+	if len(shards) == 0 {
+		return nil, errors.New("cluster: need at least one shard")
+	}
+	return &Router{shards: append([]client.Transport(nil), shards...)}, nil
+}
+
+// NumShards returns the shard count.
+func (r *Router) NumShards() int { return len(r.shards) }
+
+// ShardFor returns the index of the shard owning a merged list.
+// Assignment is static so inserting and querying clients agree without
+// coordination.
+func (r *Router) ShardFor(list zerber.ListID) int {
+	return int(uint32(list) % uint32(len(r.shards)))
+}
+
+// Login implements client.Transport. Shards share their secret and
+// registry, so any shard's tokens are valid cluster-wide; the first
+// shard answers.
+func (r *Router) Login(user string) ([]crypt.Token, error) {
+	return r.shards[0].Login(user)
+}
+
+// Insert implements client.Transport.
+func (r *Router) Insert(tok crypt.Token, list zerber.ListID, el server.StoredElement) error {
+	return r.shards[r.ShardFor(list)].Insert(tok, list, el)
+}
+
+// Query implements client.Transport.
+func (r *Router) Query(toks []crypt.Token, list zerber.ListID, offset, count int) (server.QueryResponse, error) {
+	return r.shards[r.ShardFor(list)].Query(toks, list, offset, count)
+}
+
+// Remove implements client.Transport.
+func (r *Router) Remove(tok crypt.Token, list zerber.ListID, sealed []byte) error {
+	return r.shards[r.ShardFor(list)].Remove(tok, list, sealed)
+}
+
+// Local is a convenience in-process cluster: n servers sharing one
+// secret and clock, plus the router over them.
+type Local struct {
+	Servers []*server.Server
+	Router  *Router
+}
+
+// NewLocal builds an n-shard in-process cluster.
+func NewLocal(n int, secret []byte, tokenTTL time.Duration) (*Local, error) {
+	if n <= 0 {
+		return nil, errors.New("cluster: need at least one shard")
+	}
+	l := &Local{}
+	transports := make([]client.Transport, n)
+	for i := 0; i < n; i++ {
+		srv := server.New(secret, tokenTTL)
+		l.Servers = append(l.Servers, srv)
+		transports[i] = client.Local{S: srv}
+	}
+	router, err := NewRouter(transports...)
+	if err != nil {
+		return nil, err
+	}
+	l.Router = router
+	return l, nil
+}
+
+// RegisterUser records the user on every shard (the shared enterprise
+// directory).
+func (l *Local) RegisterUser(user string, groups ...int) {
+	for _, srv := range l.Servers {
+		srv.RegisterUser(user, groups...)
+	}
+}
+
+// NumElements sums stored elements across shards.
+func (l *Local) NumElements() int {
+	n := 0
+	for _, srv := range l.Servers {
+		n += srv.NumElements()
+	}
+	return n
+}
+
+var _ client.Transport = (*Router)(nil)

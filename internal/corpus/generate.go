@@ -1,0 +1,167 @@
+package corpus
+
+import (
+	"math"
+
+	"zerberr/internal/stats"
+)
+
+// Profile parameterizes the synthetic corpus generator. The defaults
+// below reproduce the distributional shapes the paper's experiments
+// rely on: Zipf-distributed document frequencies, power-law raw
+// term-frequency distributions (Figure 4) and term-specific
+// normalized-TF distributions (Figure 5).
+type Profile struct {
+	Name      string
+	NumDocs   int
+	VocabSize int
+	// ZipfS is the exponent of the global term-popularity law.
+	ZipfS float64
+	// MeanDocLen and DocLenSigma parameterize the lognormal document
+	// length distribution; lengths are clamped to [MinDocLen, MaxDocLen].
+	MeanDocLen  int
+	DocLenSigma float64
+	MinDocLen   int
+	MaxDocLen   int
+	// Topics is the number of collaboration groups; documents are
+	// assigned round-robin-by-sample to topics and draw most of their
+	// vocabulary from a topic-specific band (see below).
+	Topics int
+	// TopicAffinity is the probability that a non-common term drawn
+	// for a document is remapped into the document's topic band.
+	TopicAffinity float64
+	// CommonRanks is the number of head vocabulary ranks shared by all
+	// topics (stopword-like terms such as the paper's "nicht").
+	CommonRanks int
+	// Burstiness is the probability that a new token repeats one of
+	// the document's existing tokens (Simon/Yule process); this is
+	// what yields power-law within-document term frequencies.
+	Burstiness float64
+	// BurstHeterogeneity spreads per-term burst propensity over
+	// [1-BurstHeterogeneity, 1]: topical terms repeat within a
+	// document much more than function words of the same document
+	// frequency. This is what makes normalized-TF distributions
+	// term-specific (Figure 5) beyond mere frequency differences.
+	BurstHeterogeneity float64
+}
+
+// burstFactor returns the term's repeat-acceptance probability in
+// [1-h, 1], keyed deterministically by term ID.
+func burstFactor(t TermID, h float64) float64 {
+	if h <= 0 {
+		return 1
+	}
+	// SplitMix-style hash to a uniform fraction.
+	z := uint64(t) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	frac := float64(z>>11) / float64(1<<53)
+	return 1 - h*frac
+}
+
+// ProfileStudIP models the Stud IP Learning Management System
+// collection of Section 6.1.1 (8,500 documents) at a laptop-friendly
+// scale. Use Scale to adjust the size.
+func ProfileStudIP() Profile {
+	return Profile{
+		Name:               "studip",
+		NumDocs:            2000,
+		VocabSize:          20000,
+		ZipfS:              1.05,
+		MeanDocLen:         300,
+		DocLenSigma:        0.7,
+		MinDocLen:          30,
+		MaxDocLen:          4000,
+		Topics:             8,
+		TopicAffinity:      0.6,
+		CommonRanks:        150,
+		Burstiness:         0.45,
+		BurstHeterogeneity: 0.8,
+	}
+}
+
+// ProfileODP models the Open Directory Project crawl of Section 6.1.2
+// (237,000 documents on 100 topics) at a laptop-friendly scale.
+func ProfileODP() Profile {
+	return Profile{
+		Name:               "odp",
+		NumDocs:            8000,
+		VocabSize:          60000,
+		ZipfS:              1.0,
+		MeanDocLen:         200,
+		DocLenSigma:        0.6,
+		MinDocLen:          25,
+		MaxDocLen:          3000,
+		Topics:             100,
+		TopicAffinity:      0.7,
+		CommonRanks:        200,
+		Burstiness:         0.45,
+		BurstHeterogeneity: 0.8,
+	}
+}
+
+// Scale multiplies the document count and vocabulary size by f,
+// clamping to at least 100 documents and 1000 terms. Scale(1) is a
+// no-op; the paper-size collections are roughly Scale(4.25) for
+// Stud IP and Scale(30) for ODP.
+func (p Profile) Scale(f float64) Profile {
+	p.NumDocs = int(math.Max(100, f*float64(p.NumDocs)))
+	p.VocabSize = int(math.Max(1000, f*float64(p.VocabSize)))
+	return p
+}
+
+// Generate builds a deterministic synthetic corpus from the profile
+// and seed. Two calls with equal arguments produce identical corpora.
+func Generate(p Profile, seed uint64) *Corpus {
+	g := stats.NewRNG(seed).Split("corpus/" + p.Name)
+	zipf := stats.NewZipf(g, p.VocabSize, p.ZipfS)
+	topics := p.Topics
+	if topics < 1 {
+		topics = 1
+	}
+	docs := make([]*Document, p.NumDocs)
+	muLen := math.Log(float64(p.MeanDocLen))
+	for i := range docs {
+		topic := i % topics
+		length := int(g.LogNormal(muLen, p.DocLenSigma))
+		if length < p.MinDocLen {
+			length = p.MinDocLen
+		}
+		if length > p.MaxDocLen {
+			length = p.MaxDocLen
+		}
+		tf := make(map[TermID]int)
+		// drawn keeps the document's token stream so the Simon/Yule
+		// repetition step can pick an earlier token uniformly, which
+		// reproduces bursty, power-law term frequencies.
+		drawn := make([]TermID, 0, length)
+		for len(drawn) < length {
+			var t TermID
+			repeated := false
+			if len(drawn) > 0 && g.Float64() < p.Burstiness {
+				cand := drawn[g.Intn(len(drawn))]
+				if g.Float64() < burstFactor(cand, p.BurstHeterogeneity) {
+					t = cand
+					repeated = true
+				}
+			}
+			if !repeated {
+				rank := zipf.Next()
+				if rank >= p.CommonRanks && g.Float64() < p.TopicAffinity {
+					// Remap the rank into the document's topic band:
+					// keep the frequency tier, switch the identity.
+					rank = rank - (rank-p.CommonRanks)%topics + topic
+					if rank >= p.VocabSize {
+						rank = p.VocabSize - 1
+					}
+				}
+				t = TermID(rank)
+			}
+			drawn = append(drawn, t)
+			tf[t]++
+		}
+		docs[i] = &Document{ID: DocID(i), Group: topic, Length: length, TF: tf}
+	}
+	return &Corpus{Docs: docs, VocabSize: p.VocabSize, Groups: topics}
+}

@@ -1,0 +1,96 @@
+package crypt
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+)
+
+// SealBytes encrypts an arbitrary artifact (merge-plan dictionary,
+// RSTF store, …) for the members of a group with AES-256-GCM. The
+// output is nonce ‖ ciphertext ‖ tag.
+func SealBytes(plaintext []byte, key GroupKey, rnd io.Reader) ([]byte, error) {
+	sub := key.subkey("artifact/gcm")
+	block, err := aes.NewCipher(sub[:])
+	if err != nil {
+		return nil, err
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	if rnd == nil {
+		rnd = rand.Reader
+	}
+	nonce := make([]byte, aead.NonceSize())
+	if _, err := io.ReadFull(rnd, nonce); err != nil {
+		return nil, fmt.Errorf("crypt: nonce: %w", err)
+	}
+	return aead.Seal(nonce, nonce, plaintext, nil), nil
+}
+
+// OpenBytes decrypts an artifact sealed with SealBytes.
+func OpenBytes(sealed []byte, key GroupKey) ([]byte, error) {
+	sub := key.subkey("artifact/gcm")
+	block, err := aes.NewCipher(sub[:])
+	if err != nil {
+		return nil, err
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	if len(sealed) < aead.NonceSize() {
+		return nil, fmt.Errorf("%w: artifact too short", ErrDecrypt)
+	}
+	pt, err := aead.Open(nil, sealed[:aead.NonceSize()], sealed[aead.NonceSize():], nil)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDecrypt, err)
+	}
+	return pt, nil
+}
+
+// Token is an authentication token the index server issues to a user:
+// an HMAC over (user, group, expiry) under the server's secret. The
+// server validates tokens on every query and update (Section 4.1's
+// "the user first authenticates herself to an index server").
+type Token struct {
+	User   string
+	Group  int
+	Expiry time.Time
+	MAC    []byte
+}
+
+// tokenMAC computes the HMAC binding the token fields to the secret.
+func tokenMAC(secret []byte, user string, group int, expiry time.Time) []byte {
+	h := hmac.New(sha256.New, secret)
+	h.Write([]byte("zerberr/token/v1|"))
+	h.Write([]byte(user))
+	var b [16]byte
+	binary.BigEndian.PutUint64(b[0:8], uint64(int64(group)))
+	binary.BigEndian.PutUint64(b[8:16], uint64(expiry.Unix()))
+	h.Write(b[:])
+	return h.Sum(nil)
+}
+
+// IssueToken creates a token for the user's membership in group,
+// valid until expiry.
+func IssueToken(secret []byte, user string, group int, expiry time.Time) Token {
+	return Token{User: user, Group: group, Expiry: expiry, MAC: tokenMAC(secret, user, group, expiry)}
+}
+
+// VerifyToken reports whether the token is authentic under the secret
+// and unexpired at time now.
+func VerifyToken(secret []byte, tok Token, now time.Time) bool {
+	if now.After(tok.Expiry) {
+		return false
+	}
+	want := tokenMAC(secret, tok.User, tok.Group, tok.Expiry)
+	return hmac.Equal(want, tok.MAC)
+}

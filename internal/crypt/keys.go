@@ -1,0 +1,81 @@
+// Package crypt provides the cryptographic substrate of the Zerber
+// index: per-group keys, posting-element codecs (an authenticated
+// AES-GCM codec and a compact 64-bit codec matching the paper's
+// Section 6.6 wire-size assumption), sealing of dictionary artifacts,
+// and HMAC authentication tokens for the index server.
+package crypt
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// KeySize is the byte length of group keys (AES-256).
+const KeySize = 32
+
+// GroupKey is a symmetric key shared by the members of one
+// collaboration group. Only key holders can decrypt the group's
+// posting elements; the index server never sees a key.
+type GroupKey struct {
+	k [KeySize]byte
+}
+
+// NewGroupKey generates a fresh random key from r (nil means
+// crypto/rand.Reader).
+func NewGroupKey(r io.Reader) (GroupKey, error) {
+	if r == nil {
+		r = rand.Reader
+	}
+	var gk GroupKey
+	if _, err := io.ReadFull(r, gk.k[:]); err != nil {
+		return GroupKey{}, fmt.Errorf("crypt: generating group key: %w", err)
+	}
+	return gk, nil
+}
+
+// KeyFromPassphrase derives a deterministic key from a passphrase via
+// iterated SHA-256 with a domain-separation tag. Intended for tests,
+// examples and CLI convenience, not as a hardened KDF.
+func KeyFromPassphrase(pass string) GroupKey {
+	var gk GroupKey
+	sum := sha256.Sum256([]byte("zerberr/group-key/v1|" + pass))
+	for i := 0; i < 4096; i++ {
+		sum = sha256.Sum256(sum[:])
+	}
+	gk.k = sum
+	return gk
+}
+
+// KeyFromBytes builds a key from exactly KeySize raw bytes.
+func KeyFromBytes(b []byte) (GroupKey, error) {
+	if len(b) != KeySize {
+		return GroupKey{}, errors.New("crypt: group key must be 32 bytes")
+	}
+	var gk GroupKey
+	copy(gk.k[:], b)
+	return gk, nil
+}
+
+// Bytes returns a copy of the raw key material.
+func (gk GroupKey) Bytes() []byte {
+	out := make([]byte, KeySize)
+	copy(out, gk.k[:])
+	return out
+}
+
+// subkey derives an independent key for the given purpose label, so
+// the element codec, artifact sealing and MACs never share key
+// material directly.
+func (gk GroupKey) subkey(purpose string) [KeySize]byte {
+	h := sha256.New()
+	h.Write([]byte("zerberr/subkey/v1|"))
+	h.Write([]byte(purpose))
+	h.Write([]byte{'|'})
+	h.Write(gk.k[:])
+	var out [KeySize]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}

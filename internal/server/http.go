@@ -1,0 +1,150 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"zerberr/internal/crypt"
+	"zerberr/internal/zerber"
+)
+
+// HTTP transport: a thin JSON layer over the in-process API, so the
+// index server can be outsourced onto a remote host (cmd/zerberd) and
+// exercised by clients over the network.
+//
+//	POST /v1/login   {"user": "john"}                     -> {"tokens": [...]}
+//	POST /v1/insert  {"token": ..., "list": 3, "element": ...} -> {}
+//	POST /v1/query   {"tokens": [...], "list": 3,
+//	                  "offset": 0, "count": 10}           -> QueryResponse
+//	GET  /v1/stats                                        -> {"lists":n,"elements":m}
+
+// LoginRequest is the /v1/login payload.
+type LoginRequest struct {
+	User string `json:"user"`
+}
+
+// LoginResponse carries the issued group tokens.
+type LoginResponse struct {
+	Tokens []crypt.Token `json:"tokens"`
+}
+
+// InsertRequest is the /v1/insert payload.
+type InsertRequest struct {
+	Token   crypt.Token   `json:"token"`
+	List    zerber.ListID `json:"list"`
+	Element StoredElement `json:"element"`
+}
+
+// RemoveRequest is the /v1/remove payload.
+type RemoveRequest struct {
+	Token  crypt.Token   `json:"token"`
+	List   zerber.ListID `json:"list"`
+	Sealed []byte        `json:"sealed"`
+}
+
+// QueryRequest is the /v1/query payload.
+type QueryRequest struct {
+	Tokens []crypt.Token `json:"tokens"`
+	List   zerber.ListID `json:"list"`
+	Offset int           `json:"offset"`
+	Count  int           `json:"count"`
+}
+
+// StatsResponse is the /v1/stats payload.
+type StatsResponse struct {
+	Lists    int `json:"lists"`
+	Elements int `json:"elements"`
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the HTTP API for the server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/login", func(w http.ResponseWriter, r *http.Request) {
+		var req LoginRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		toks, err := s.Login(req.User)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, LoginResponse{Tokens: toks})
+	})
+	mux.HandleFunc("POST /v1/insert", func(w http.ResponseWriter, r *http.Request) {
+		var req InsertRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		if err := s.Insert(req.Token, req.List, req.Element); err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, struct{}{})
+	})
+	mux.HandleFunc("POST /v1/remove", func(w http.ResponseWriter, r *http.Request) {
+		var req RemoveRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		if err := s.Remove(req.Token, req.List, req.Sealed); err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, struct{}{})
+	})
+	mux.HandleFunc("POST /v1/query", func(w http.ResponseWriter, r *http.Request) {
+		var req QueryRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		resp, err := s.Query(req.Tokens, req.List, req.Offset, req.Count)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, StatsResponse{Lists: s.NumLists(), Elements: s.NumElements()})
+	})
+	return mux
+}
+
+func decode(w http.ResponseWriter, r *http.Request, dst interface{}) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad request body: %v", err)})
+		return false
+	}
+	return true
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrAuth):
+		status = http.StatusUnauthorized
+	case errors.Is(err, ErrForbidden):
+		status = http.StatusForbidden
+	case errors.Is(err, ErrUnknownUser), errors.Is(err, ErrUnknownList), errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrBadRequest):
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, body interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}

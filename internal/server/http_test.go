@@ -1,0 +1,150 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func post(t *testing.T, ts *httptest.Server, path string, body interface{}) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestHTTPEndToEnd(t *testing.T) {
+	s := New(secret, time.Hour)
+	s.RegisterUser("john", 0)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Login.
+	resp := post(t, ts, "/v1/login", LoginRequest{User: "john"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("login status %d", resp.StatusCode)
+	}
+	var lr LoginResponse
+	if err := json.NewDecoder(resp.Body).Decode(&lr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(lr.Tokens) != 1 {
+		t.Fatalf("got %d tokens", len(lr.Tokens))
+	}
+
+	// Insert two elements.
+	for i, trs := range []float64{0.3, 0.8} {
+		r := post(t, ts, "/v1/insert", InsertRequest{
+			Token: lr.Tokens[0],
+			List:  4,
+			Element: StoredElement{
+				Sealed: []byte{byte(i), 1, 2, 3},
+				TRS:    trs,
+				Group:  0,
+			},
+		})
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("insert status %d", r.StatusCode)
+		}
+		r.Body.Close()
+	}
+
+	// Query them back, ranked.
+	r := post(t, ts, "/v1/query", QueryRequest{Tokens: lr.Tokens, List: 4, Offset: 0, Count: 10})
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d", r.StatusCode)
+	}
+	var qr QueryResponse
+	if err := json.NewDecoder(r.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if len(qr.Elements) != 2 || !qr.Exhausted {
+		t.Fatalf("query response %+v", qr)
+	}
+	if qr.Elements[0].TRS != 0.8 || qr.Elements[1].TRS != 0.3 {
+		t.Fatal("HTTP query not ranked")
+	}
+
+	// Stats.
+	sr, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StatsResponse
+	if err := json.NewDecoder(sr.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	sr.Body.Close()
+	if st.Lists != 1 || st.Elements != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestHTTPErrorMapping(t *testing.T) {
+	s := New(secret, time.Hour)
+	s.RegisterUser("john", 0)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		path   string
+		body   interface{}
+		status int
+	}{
+		{"/v1/login", LoginRequest{User: "ghost"}, http.StatusNotFound},
+		{"/v1/query", QueryRequest{List: 9, Count: 5}, http.StatusNotFound},
+		{"/v1/query", QueryRequest{List: 9, Count: -1}, http.StatusBadRequest},
+		{"/v1/insert", InsertRequest{List: 1}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		r := post(t, ts, tc.path, tc.body)
+		if r.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d", tc.path, r.StatusCode, tc.status)
+		}
+		var eb errorBody
+		if err := json.NewDecoder(r.Body).Decode(&eb); err == nil && r.StatusCode != http.StatusOK && eb.Error == "" {
+			t.Errorf("%s: empty error body", tc.path)
+		}
+		r.Body.Close()
+	}
+
+	// Malformed JSON.
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Forged token over HTTP.
+	lr := post(t, ts, "/v1/login", LoginRequest{User: "john"})
+	var login LoginResponse
+	if err := json.NewDecoder(lr.Body).Decode(&login); err != nil {
+		t.Fatal(err)
+	}
+	lr.Body.Close()
+	forged := login.Tokens[0]
+	forged.Group = 5
+	r := post(t, ts, "/v1/insert", InsertRequest{
+		Token:   forged,
+		List:    1,
+		Element: StoredElement{Sealed: []byte{1}, TRS: 0.1, Group: 5},
+	})
+	if r.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("forged token status %d, want 401", r.StatusCode)
+	}
+	r.Body.Close()
+}

@@ -1,0 +1,350 @@
+// Package server implements the untrusted Zerber+R index server of
+// Section 5.2: it stores merged posting lists whose elements carry an
+// opaque sealed payload plus a plaintext transformed relevance score
+// (TRS), keeps each list sorted by TRS, authenticates users, enforces
+// group access control, and serves ranked ranges of posting elements
+// so clients can run the progressive top-k protocol.
+//
+// The server never sees group keys, raw relevance scores, term
+// identities or document identities — only list IDs, group IDs, TRS
+// values and ciphertext.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"zerberr/internal/crypt"
+	"zerberr/internal/zerber"
+)
+
+// StoredElement is what the server keeps and returns per posting
+// element: ciphertext plus the server-visible ranking and ACL fields.
+type StoredElement struct {
+	// Sealed is the encrypted (doc, term, score) payload.
+	Sealed []byte `json:"sealed"`
+	// TRS is the transformed relevance score the server ranks by.
+	TRS float64 `json:"trs"`
+	// Group is the collaboration group owning the element; the server
+	// filters on it per user.
+	Group int `json:"group"`
+}
+
+// QueryResponse is one batch of the progressive protocol.
+type QueryResponse struct {
+	// Elements are the next ranked elements visible to the caller.
+	Elements []StoredElement `json:"elements"`
+	// Exhausted reports that no further elements remain beyond this
+	// batch for the caller's access rights.
+	Exhausted bool `json:"exhausted"`
+}
+
+// Errors returned by server operations.
+var (
+	ErrAuth        = errors.New("server: authentication failed")
+	ErrForbidden   = errors.New("server: group not covered by presented tokens")
+	ErrUnknownUser = errors.New("server: unknown user")
+	ErrUnknownList = errors.New("server: unknown posting list")
+	ErrBadRequest  = errors.New("server: bad request")
+)
+
+// Server is an in-memory index server. All methods are safe for
+// concurrent use.
+type Server struct {
+	mu       sync.RWMutex
+	secret   []byte
+	tokenTTL time.Duration
+	now      func() time.Time
+	members  map[string]map[int]bool
+	lists    map[zerber.ListID]*mergedList
+}
+
+// mergedList holds one merged posting list sorted by descending TRS.
+// Inserts append and mark the list dirty; the sort is re-established
+// lazily before the next read, so bulk loading stays O(n log n).
+type mergedList struct {
+	elems []StoredElement
+	dirty bool
+}
+
+// New creates a server with the given token-signing secret. tokenTTL
+// bounds token lifetime (zero means one hour).
+func New(secret []byte, tokenTTL time.Duration) *Server {
+	if tokenTTL <= 0 {
+		tokenTTL = time.Hour
+	}
+	return &Server{
+		secret:   append([]byte(nil), secret...),
+		tokenTTL: tokenTTL,
+		now:      time.Now,
+		members:  make(map[string]map[int]bool),
+		lists:    make(map[zerber.ListID]*mergedList),
+	}
+}
+
+// SetClock overrides the server clock (tests).
+func (s *Server) SetClock(now func() time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.now = now
+}
+
+// RegisterUser records the user's group memberships (the enterprise
+// directory of the Section 2 scenario). Repeated calls extend the
+// membership set.
+func (s *Server) RegisterUser(user string, groups ...int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.members[user]
+	if m == nil {
+		m = make(map[int]bool)
+		s.members[user] = m
+	}
+	for _, g := range groups {
+		m[g] = true
+	}
+}
+
+// Login authenticates a user and issues one token per group
+// membership. (Password verification is out of scope — the paper
+// assumes an enterprise authentication layer; we model its outcome.)
+func (s *Server) Login(user string) ([]crypt.Token, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	groups, ok := s.members[user]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownUser, user)
+	}
+	sorted := make([]int, 0, len(groups))
+	for g := range groups {
+		sorted = append(sorted, g)
+	}
+	sort.Ints(sorted)
+	expiry := s.now().Add(s.tokenTTL)
+	toks := make([]crypt.Token, len(sorted))
+	for i, g := range sorted {
+		toks[i] = crypt.IssueToken(s.secret, user, g, expiry)
+	}
+	return toks, nil
+}
+
+// allowedGroups validates the presented tokens and returns the set of
+// groups they grant. Invalid or expired tokens are an authentication
+// error, not silently dropped.
+func (s *Server) allowedGroups(toks []crypt.Token) (map[int]bool, error) {
+	now := s.now()
+	allowed := make(map[int]bool, len(toks))
+	for _, tok := range toks {
+		if !crypt.VerifyToken(s.secret, tok, now) {
+			return nil, fmt.Errorf("%w: invalid token for user %q group %d", ErrAuth, tok.User, tok.Group)
+		}
+		allowed[tok.Group] = true
+	}
+	return allowed, nil
+}
+
+// Insert stores a sealed posting element into the given merged list.
+// The presented token must cover the element's group (Section 5:
+// "The index server authenticates the user, checks his group
+// membership and accepts the update if appropriate").
+func (s *Server) Insert(tok crypt.Token, list zerber.ListID, el StoredElement) error {
+	if el.Sealed == nil {
+		return fmt.Errorf("%w: empty payload", ErrBadRequest)
+	}
+	allowed, err := s.allowedGroups([]crypt.Token{tok})
+	if err != nil {
+		return err
+	}
+	if !allowed[el.Group] {
+		return fmt.Errorf("%w: token group %d, element group %d", ErrForbidden, tok.Group, el.Group)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ml := s.lists[list]
+	if ml == nil {
+		ml = &mergedList{}
+		s.lists[list] = ml
+	}
+	ml.insert(el)
+	return nil
+}
+
+// insert appends the element; rank order is re-established lazily.
+func (ml *mergedList) insert(el StoredElement) {
+	ml.elems = append(ml.elems, el)
+	ml.dirty = true
+}
+
+// ensureSorted re-sorts a dirty list. Callers must hold the write
+// lock.
+func (ml *mergedList) ensureSorted() {
+	if !ml.dirty {
+		return
+	}
+	sort.SliceStable(ml.elems, func(i, j int) bool { return elementLess(ml.elems[i], ml.elems[j]) })
+	ml.dirty = false
+}
+
+// elementLess orders by descending TRS. Ties are broken by the sealed
+// payload bytes, which are indistinguishable from random to the
+// server — so tie order carries no term information.
+func elementLess(a, b StoredElement) bool {
+	if a.TRS != b.TRS {
+		return a.TRS > b.TRS
+	}
+	return string(a.Sealed) < string(b.Sealed)
+}
+
+// normalize re-sorts the list if needed, upgrading to the write lock
+// only when there is work to do.
+func (s *Server) normalize(list zerber.ListID) {
+	s.mu.RLock()
+	ml := s.lists[list]
+	dirty := ml != nil && ml.dirty
+	s.mu.RUnlock()
+	if !dirty {
+		return
+	}
+	s.mu.Lock()
+	if ml := s.lists[list]; ml != nil {
+		ml.ensureSorted()
+	}
+	s.mu.Unlock()
+}
+
+// Query returns up to count elements of the list starting at offset
+// within the caller's access-filtered, TRS-ranked view. The client
+// drives the progressive doubling of Section 5.2 by growing count
+// across follow-up requests; the server only serves ranked ranges.
+func (s *Server) Query(toks []crypt.Token, list zerber.ListID, offset, count int) (QueryResponse, error) {
+	if offset < 0 || count <= 0 {
+		return QueryResponse{}, fmt.Errorf("%w: offset %d count %d", ErrBadRequest, offset, count)
+	}
+	allowed, err := s.allowedGroups(toks)
+	if err != nil {
+		return QueryResponse{}, err
+	}
+	s.normalize(list)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ml := s.lists[list]
+	if ml == nil {
+		return QueryResponse{}, fmt.Errorf("%w: %d", ErrUnknownList, list)
+	}
+	var out []StoredElement
+	seen := 0
+	for _, el := range ml.elems {
+		if !allowed[el.Group] {
+			continue
+		}
+		if seen >= offset {
+			if len(out) >= count {
+				// One extra visible element exists: not exhausted.
+				return QueryResponse{Elements: out}, nil
+			}
+			cp := el
+			cp.Sealed = append([]byte(nil), el.Sealed...)
+			out = append(out, cp)
+		}
+		seen++
+	}
+	return QueryResponse{Elements: out, Exhausted: true}, nil
+}
+
+// ErrNotFound reports a Remove for an element the list does not hold.
+var ErrNotFound = errors.New("server: element not found")
+
+// Remove deletes the element whose sealed payload matches exactly,
+// provided the presented token covers the element's group. Deletion is
+// how index updates stay unlimited (Section 7): the owner re-indexes a
+// changed document after removing its old elements. The server still
+// learns nothing — it matches opaque bytes.
+func (s *Server) Remove(tok crypt.Token, list zerber.ListID, sealed []byte) error {
+	if len(sealed) == 0 {
+		return fmt.Errorf("%w: empty payload", ErrBadRequest)
+	}
+	allowed, err := s.allowedGroups([]crypt.Token{tok})
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ml := s.lists[list]
+	if ml == nil {
+		return fmt.Errorf("%w: %d", ErrUnknownList, list)
+	}
+	for i, el := range ml.elems {
+		if string(el.Sealed) != string(sealed) {
+			continue
+		}
+		if !allowed[el.Group] {
+			return fmt.Errorf("%w: element of group %d", ErrForbidden, el.Group)
+		}
+		ml.elems = append(ml.elems[:i], ml.elems[i+1:]...)
+		return nil
+	}
+	return fmt.Errorf("%w in list %d", ErrNotFound, list)
+}
+
+// ListLen reports how many elements the list holds in total
+// (administrative/diagnostic; experiments use it for cost accounting).
+func (s *Server) ListLen(list zerber.ListID) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if ml := s.lists[list]; ml != nil {
+		return len(ml.elems)
+	}
+	return 0
+}
+
+// NumLists reports how many merged lists hold at least one element.
+func (s *Server) NumLists() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.lists)
+}
+
+// NumElements reports the total number of stored posting elements.
+func (s *Server) NumElements() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, ml := range s.lists {
+		n += len(ml.elems)
+	}
+	return n
+}
+
+// Snapshot returns a copy of a list's elements in rank order
+// (adversary's view of a compromised server; used by the attack
+// experiments).
+func (s *Server) Snapshot(list zerber.ListID) []StoredElement {
+	s.normalize(list)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ml := s.lists[list]
+	if ml == nil {
+		return nil
+	}
+	out := make([]StoredElement, len(ml.elems))
+	for i, el := range ml.elems {
+		out[i] = el
+		out[i].Sealed = append([]byte(nil), el.Sealed...)
+	}
+	return out
+}
+
+// Lists returns the IDs of all non-empty lists in ascending order.
+func (s *Server) Lists() []zerber.ListID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]zerber.ListID, 0, len(s.lists))
+	for id := range s.lists {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

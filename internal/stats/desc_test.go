@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+func TestDescBasics(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := Variance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if got := Min(xs); got != 2 {
+		t.Errorf("Min = %v, want 2", got)
+	}
+	if got := Max(xs); got != 9 {
+		t.Errorf("Max = %v, want 9", got)
+	}
+	if got := Sum(xs); got != 40 {
+		t.Errorf("Sum = %v, want 40", got)
+	}
+}
+
+func TestDescEmpty(t *testing.T) {
+	for name, f := range map[string]func([]float64) float64{
+		"Mean": Mean, "Variance": Variance, "Min": Min, "Max": Max, "Median": Median,
+	} {
+		if got := f(nil); !math.IsNaN(got) {
+			t.Errorf("%s(nil) = %v, want NaN", name, got)
+		}
+	}
+	if got := Sum(nil); got != 0 {
+		t.Errorf("Sum(nil) = %v, want 0", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {-10, 1}, {110, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Percentile(xs, 50); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("Percentile(50) = %v, want 5", got)
+	}
+	if got := Percentile(xs, 30); !almostEqual(got, 3, 1e-12) {
+		t.Errorf("Percentile(30) = %v, want 3", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	Percentile(xs, 50)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Fatalf("Percentile mutated its input: %v", xs)
+	}
+}
+
+func TestVarianceNonNegativeQuick(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		return Variance(clean) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentileBoundedQuick(t *testing.T) {
+	f := func(raw []float64, p uint8) bool {
+		clean := raw[:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		v := Percentile(clean, float64(p%101))
+		return v >= Min(clean) && v <= Max(clean)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

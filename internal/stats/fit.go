@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// LinearFit holds the result of an ordinary least-squares fit
+// y = Slope*x + Intercept.
+type LinearFit struct {
+	Slope, Intercept float64
+	// R2 is the coefficient of determination in [0,1] (1 = perfect).
+	R2 float64
+}
+
+// ErrDegenerateFit is returned when a fit is requested on fewer than
+// two points or on points with zero x-variance.
+var ErrDegenerateFit = errors.New("stats: not enough spread for a least-squares fit")
+
+// FitLinear performs ordinary least squares on the (xs, ys) pairs.
+func FitLinear(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, errors.New("stats: FitLinear needs equal-length slices")
+	}
+	n := float64(len(xs))
+	if len(xs) < 2 {
+		return LinearFit{}, ErrDegenerateFit
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, ErrDegenerateFit
+	}
+	slope := sxy / sxx
+	fit := LinearFit{Slope: slope, Intercept: my - slope*mx}
+	if syy > 0 {
+		fit.R2 = (sxy * sxy) / (sxx * syy)
+	} else {
+		fit.R2 = 1
+	}
+	_ = n
+	return fit, nil
+}
+
+// FitPowerLaw fits y = c * x^alpha by least squares in log-log space,
+// skipping non-positive points. It returns the exponent alpha (the
+// log-log slope, typically negative for the term-frequency
+// distributions in the paper's Figure 4), the log-space intercept and
+// the fit's R2.
+func FitPowerLaw(xs, ys []float64) (LinearFit, error) {
+	var lx, ly []float64
+	for i := range xs {
+		if i < len(ys) && xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, math.Log(ys[i]))
+		}
+	}
+	return FitLinear(lx, ly)
+}

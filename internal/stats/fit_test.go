@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestFitLinearExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3*x - 7
+	}
+	fit, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Slope, 3, 1e-9) || !almostEqual(fit.Intercept, -7, 1e-9) {
+		t.Fatalf("fit = %+v, want slope 3 intercept -7", fit)
+	}
+	if !almostEqual(fit.R2, 1, 1e-9) {
+		t.Fatalf("R2 = %v, want 1", fit.R2)
+	}
+}
+
+func TestFitLinearNoisy(t *testing.T) {
+	g := NewRNG(17)
+	var xs, ys []float64
+	for i := 0; i < 500; i++ {
+		x := float64(i) / 50
+		xs = append(xs, x)
+		ys = append(ys, 2*x+1+0.01*g.NormFloat64())
+	}
+	fit, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-2) > 0.01 {
+		t.Fatalf("slope = %v, want about 2", fit.Slope)
+	}
+	if fit.R2 < 0.99 {
+		t.Fatalf("R2 = %v, want near 1", fit.R2)
+	}
+}
+
+func TestFitLinearDegenerate(t *testing.T) {
+	if _, err := FitLinear([]float64{1}, []float64{1}); !errors.Is(err, ErrDegenerateFit) {
+		t.Errorf("single point: err = %v, want ErrDegenerateFit", err)
+	}
+	if _, err := FitLinear([]float64{2, 2, 2}, []float64{1, 2, 3}); !errors.Is(err, ErrDegenerateFit) {
+		t.Errorf("zero x-variance: err = %v, want ErrDegenerateFit", err)
+	}
+	if _, err := FitLinear([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched lengths: want error")
+	}
+}
+
+func TestFitPowerLawExact(t *testing.T) {
+	var xs, ys []float64
+	for x := 1.0; x <= 100; x++ {
+		xs = append(xs, x)
+		ys = append(ys, 50*math.Pow(x, -1.8))
+	}
+	fit, err := FitPowerLaw(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Slope, -1.8, 1e-9) {
+		t.Fatalf("exponent = %v, want -1.8", fit.Slope)
+	}
+}
+
+func TestFitPowerLawSkipsNonPositive(t *testing.T) {
+	xs := []float64{0, -1, 1, 2, 4, 8}
+	ys := []float64{5, 5, 1, 2, 4, 8}
+	fit, err := FitPowerLaw(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Slope, 1, 1e-9) {
+		t.Fatalf("exponent = %v, want 1 (identity on positive points)", fit.Slope)
+	}
+}

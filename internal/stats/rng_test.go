@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("different seeds produced %d/100 identical draws", same)
+	}
+}
+
+func TestRNGSplitIndependent(t *testing.T) {
+	parent := NewRNG(7)
+	c1 := parent.Split("corpus")
+	c2 := parent.Split("workload")
+	c1again := NewRNG(7).Split("corpus")
+	if c1.Float64() != c1again.Float64() {
+		t.Fatal("Split is not deterministic for the same label")
+	}
+	if c1.Float64() == c2.Float64() {
+		t.Fatal("Split children with different labels look correlated")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	g := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		v := g.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestRNGLogNormalPositive(t *testing.T) {
+	g := NewRNG(5)
+	for i := 0; i < 1000; i++ {
+		if v := g.LogNormal(2, 0.7); v <= 0 {
+			t.Fatalf("LogNormal returned non-positive %v", v)
+		}
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	g := NewRNG(11)
+	p := g.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm invalid: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestZipfProbSumsToOne(t *testing.T) {
+	g := NewRNG(1)
+	z := NewZipf(g, 1000, 1.1)
+	sum := 0.0
+	for i := 0; i < z.N(); i++ {
+		sum += z.Prob(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("Zipf probabilities sum to %v, want 1", sum)
+	}
+}
+
+func TestZipfHeadHeavier(t *testing.T) {
+	g := NewRNG(2)
+	z := NewZipf(g, 100, 1.0)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("rank 0 (%d draws) should dominate rank 50 (%d draws)", counts[0], counts[50])
+	}
+	if counts[0] <= counts[99] {
+		t.Fatalf("rank 0 (%d draws) should dominate rank 99 (%d draws)", counts[0], counts[99])
+	}
+	// Empirical head mass should be close to theoretical.
+	want := z.Prob(0)
+	got := float64(counts[0]) / 100000
+	if math.Abs(got-want) > 0.02 {
+		t.Fatalf("rank-0 mass %v, want about %v", got, want)
+	}
+}
+
+func TestZipfExponentZeroIsUniform(t *testing.T) {
+	g := NewRNG(4)
+	z := NewZipf(g, 10, 0)
+	for i := 0; i < 10; i++ {
+		if math.Abs(z.Prob(i)-0.1) > 1e-12 {
+			t.Fatalf("s=0 should be uniform, Prob(%d)=%v", i, z.Prob(i))
+		}
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	g := NewRNG(9)
+	for _, tc := range []struct {
+		n int
+		s float64
+	}{{0, 1}, {-3, 1}, {5, -0.5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf(%d, %v) did not panic", tc.n, tc.s)
+				}
+			}()
+			NewZipf(g, tc.n, tc.s)
+		}()
+	}
+}
+
+func TestZipfNextInRangeQuick(t *testing.T) {
+	g := NewRNG(8)
+	z := NewZipf(g, 37, 1.3)
+	f := func(uint16) bool {
+		r := z.Next()
+		return r >= 0 && r < 37
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

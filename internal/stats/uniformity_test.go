@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func uniformSample(n int, seed uint64) []float64 {
+	g := NewRNG(seed)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = g.Float64()
+	}
+	return xs
+}
+
+func skewedSample(n int, seed uint64) []float64 {
+	g := NewRNG(seed)
+	xs := make([]float64, n)
+	for i := range xs {
+		v := g.Float64()
+		xs[i] = v * v * v // mass piles up near 0
+	}
+	return xs
+}
+
+func TestVarianceFromUniformDiscriminates(t *testing.T) {
+	u := VarianceFromUniform(uniformSample(2000, 1))
+	s := VarianceFromUniform(skewedSample(2000, 1))
+	if !(u < s) {
+		t.Fatalf("uniform sample (%v) should score below skewed sample (%v)", u, s)
+	}
+	if u > 1e-3 {
+		t.Fatalf("uniform sample scored %v, expected a small value", u)
+	}
+}
+
+func TestVarianceFromUniformPerfectGrid(t *testing.T) {
+	n := 100
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i+1) / float64(n+1)
+	}
+	if got := VarianceFromUniform(xs); got != 0 {
+		t.Fatalf("perfect grid scored %v, want 0", got)
+	}
+}
+
+func TestKSUniformDiscriminates(t *testing.T) {
+	u := KSUniform(uniformSample(2000, 2))
+	s := KSUniform(skewedSample(2000, 2))
+	if !(u < s) {
+		t.Fatalf("KS: uniform %v should be below skewed %v", u, s)
+	}
+}
+
+func TestCramerVonMisesDiscriminates(t *testing.T) {
+	u := CramerVonMisesUniform(uniformSample(2000, 3))
+	s := CramerVonMisesUniform(skewedSample(2000, 3))
+	if !(u < s) {
+		t.Fatalf("CvM: uniform %v should be below skewed %v", u, s)
+	}
+}
+
+func TestUniformityEmpty(t *testing.T) {
+	if !math.IsNaN(VarianceFromUniform(nil)) {
+		t.Error("VarianceFromUniform(nil) should be NaN")
+	}
+	if !math.IsNaN(KSUniform(nil)) {
+		t.Error("KSUniform(nil) should be NaN")
+	}
+	if !math.IsNaN(CramerVonMisesUniform(nil)) {
+		t.Error("CramerVonMisesUniform(nil) should be NaN")
+	}
+}
+
+func TestUniformityDoesNotMutate(t *testing.T) {
+	xs := []float64{0.9, 0.1, 0.5}
+	VarianceFromUniform(xs)
+	KSUniform(xs)
+	CramerVonMisesUniform(xs)
+	if xs[0] != 0.9 || xs[1] != 0.1 || xs[2] != 0.5 {
+		t.Fatalf("uniformity measures mutated input: %v", xs)
+	}
+}
+
+func TestUniformityNonNegativeQuick(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, math.Mod(math.Abs(x), 1))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		return VarianceFromUniform(xs) >= 0 && KSUniform(xs) >= 0 && CramerVonMisesUniform(xs) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

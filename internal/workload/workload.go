@@ -1,0 +1,227 @@
+// Package workload models the query side of the evaluation: a
+// synthetic web-search-style query log standing in for the 7M-query
+// log of Section 6.1.3 (Zipf-distributed query frequencies, imperfect
+// correlation with document frequency, multi-term queries averaging
+// 2.4 terms) and the Equation 9 workload cost model.
+package workload
+
+import (
+	"math"
+	"sort"
+
+	"zerberr/internal/corpus"
+	"zerberr/internal/stats"
+)
+
+// Query is one entry of the log.
+type Query struct {
+	Terms []corpus.TermID
+}
+
+// Log is a generated query workload plus its per-term frequency
+// profile.
+type Log struct {
+	Queries []Query
+	// freq counts how often each term occurs across the log.
+	freq map[corpus.TermID]int
+	// totalTermOccurrences is the sum of freq values.
+	totalTermOccurrences int
+}
+
+// Config parameterizes the generator.
+type Config struct {
+	// NumQueries is the log length. The paper's log has 7M queries;
+	// experiments default to a laptop-friendly scale.
+	NumQueries int
+	// MeanTerms is the mean query length (paper: 2.4).
+	MeanTerms float64
+	// QueryVocab bounds how many distinct terms appear in queries
+	// (paper: 135K distinct query terms); zero means a quarter of the
+	// corpus vocabulary.
+	QueryVocab int
+	// ZipfS is the query-popularity exponent (head-heavy; the paper's
+	// Figure 10 shows the most frequent queries carrying nearly the
+	// whole workload).
+	ZipfS float64
+	// RankNoise controls the imperfect correlation between document
+	// frequency and query frequency: each term's query-popularity rank
+	// is its df rank perturbed by a lognormal factor. Zero means 0.35.
+	// Larger values decorrelate further ("some frequent terms are
+	// rarely queried", Section 5.2 / [15]).
+	RankNoise float64
+}
+
+// DefaultConfig returns the evaluation defaults.
+func DefaultConfig() Config {
+	return Config{
+		NumQueries: 20000,
+		MeanTerms:  2.4,
+		ZipfS:      1.1,
+		RankNoise:  0.35,
+	}
+}
+
+// Generate builds a deterministic query log against the corpus: terms
+// that exist in the collection are queried with Zipf-distributed
+// frequencies whose ranking loosely follows document frequency.
+func Generate(c *corpus.Corpus, cfg Config, seed uint64) *Log {
+	g := stats.NewRNG(seed).Split("workload")
+	if cfg.NumQueries <= 0 {
+		cfg.NumQueries = DefaultConfig().NumQueries
+	}
+	if cfg.MeanTerms <= 0 {
+		cfg.MeanTerms = 2.4
+	}
+	if cfg.ZipfS <= 0 {
+		cfg.ZipfS = 1.1
+	}
+	if cfg.RankNoise <= 0 {
+		cfg.RankNoise = 0.35
+	}
+	byDF := c.TermsByDF()
+	vocab := cfg.QueryVocab
+	if vocab <= 0 {
+		vocab = len(byDF) / 4
+	}
+	if vocab > len(byDF) {
+		vocab = len(byDF)
+	}
+	if vocab == 0 {
+		return &Log{freq: map[corpus.TermID]int{}}
+	}
+	// Query-popularity order: df order perturbed multiplicatively.
+	type ranked struct {
+		term corpus.TermID
+		key  float64
+	}
+	rankedTerms := make([]ranked, vocab)
+	for i := 0; i < vocab; i++ {
+		noisy := float64(i+1) * g.LogNormal(0, cfg.RankNoise)
+		rankedTerms[i] = ranked{term: byDF[i], key: noisy}
+	}
+	sort.Slice(rankedTerms, func(i, j int) bool {
+		if rankedTerms[i].key != rankedTerms[j].key {
+			return rankedTerms[i].key < rankedTerms[j].key
+		}
+		return rankedTerms[i].term < rankedTerms[j].term
+	})
+	zipf := stats.NewZipf(g, vocab, cfg.ZipfS)
+	log := &Log{
+		Queries: make([]Query, cfg.NumQueries),
+		freq:    make(map[corpus.TermID]int),
+	}
+	for i := range log.Queries {
+		n := queryLength(g, cfg.MeanTerms)
+		terms := make([]corpus.TermID, 0, n)
+		seen := make(map[corpus.TermID]bool, n)
+		for len(terms) < n {
+			t := rankedTerms[zipf.Next()].term
+			if seen[t] {
+				continue
+			}
+			seen[t] = true
+			terms = append(terms, t)
+		}
+		log.Queries[i] = Query{Terms: terms}
+		for _, t := range terms {
+			log.freq[t]++
+			log.totalTermOccurrences++
+		}
+	}
+	return log
+}
+
+// queryLength draws a positive query length with the given mean:
+// 1 + Poisson(mean-1), sampled by inversion.
+func queryLength(g *stats.RNG, mean float64) int {
+	lambda := mean - 1
+	if lambda <= 0 {
+		return 1
+	}
+	// Knuth's algorithm; lambda is small (~1.4).
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= g.Float64()
+		if p <= l {
+			return 1 + k
+		}
+		k++
+		if k > 50 {
+			return 1 + k
+		}
+	}
+}
+
+// Freq returns how often the term occurs across the log's queries.
+func (l *Log) Freq(t corpus.TermID) int { return l.freq[t] }
+
+// TermOccurrences returns the total number of term occurrences in the
+// log (multi-term queries count each term once per occurrence).
+func (l *Log) TermOccurrences() int { return l.totalTermOccurrences }
+
+// DistinctTerms returns how many distinct terms the log queries.
+func (l *Log) DistinctTerms() int { return len(l.freq) }
+
+// TermsByFreq returns the queried terms in decreasing log frequency.
+func (l *Log) TermsByFreq() []corpus.TermID {
+	out := make([]corpus.TermID, 0, len(l.freq))
+	for t := range l.freq {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if l.freq[out[i]] != l.freq[out[j]] {
+			return l.freq[out[i]] > l.freq[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// SingleTermStream flattens the log into the per-term query sequence
+// Zerber+R actually executes ("a multi-term query as a sequence of
+// single-term queries", Section 6.1.3).
+func (l *Log) SingleTermStream() []corpus.TermID {
+	var out []corpus.TermID
+	for _, q := range l.Queries {
+		out = append(out, q.Terms...)
+	}
+	return out
+}
+
+// CostModel computes the Equation 9 total workload cost
+// Q ≈ Σ_lists [ N(L) × Σ_{j∈L} q_j ], where N(L) is the retrieval
+// cost charged per query against merged list L (elements fetched to
+// satisfy top-k, Equation 11) and q_j are query frequencies.
+type CostModel struct {
+	// ElementsPerQuery maps each merged-list id to N(L).
+	ElementsPerQuery map[uint32]float64
+	// ListOf maps a term to its merged list.
+	ListOf func(corpus.TermID) (uint32, bool)
+}
+
+// TotalCost evaluates the model against a log.
+func (m CostModel) TotalCost(l *Log) float64 {
+	perList := make(map[uint32]int)
+	for t, q := range l.freq {
+		if list, ok := m.ListOf(t); ok {
+			perList[list] += q
+		}
+	}
+	total := 0.0
+	for list, qsum := range perList {
+		total += m.ElementsPerQuery[list] * float64(qsum)
+	}
+	return total
+}
+
+// PositionEstimate implements Equation 10/11: the expected number of
+// elements to retrieve from a merged list to obtain a term's top-k
+// under uniform TRS mixing, k × (Σ_{t'∈L} df(t')) / df(t).
+func PositionEstimate(k int, dfTerm int, dfListTotal int) float64 {
+	if dfTerm <= 0 {
+		return 0
+	}
+	return float64(k) * float64(dfListTotal) / float64(dfTerm)
+}
