@@ -1,0 +1,101 @@
+package zerberr_test
+
+// Storage-engine benchmarks: the durable path (internal/store) from
+// day one, alongside the figure and protocol benches in bench_test.go.
+// BenchmarkStoreAppend measures the logged insert hot path (one WAL
+// record framed, checksummed and pushed per op); BenchmarkStoreRecover
+// measures a cold start replaying snapshot + WAL into RAM.
+
+import (
+	"fmt"
+	"testing"
+
+	"zerberr/internal/store"
+	"zerberr/internal/zerber"
+)
+
+// benchElement builds a posting element with a sealed payload of
+// realistic size (crypt.SealElement emits ~60-70 bytes).
+func benchElement(i int) store.Element {
+	sealed := make([]byte, 64)
+	for j := range sealed {
+		sealed[j] = byte(i >> (j % 4 * 8))
+	}
+	return store.Element{Sealed: sealed, TRS: float64(i % 997), Group: i % 8}
+}
+
+func BenchmarkStoreAppend(b *testing.B) {
+	for _, fsync := range []bool{false, true} {
+		b.Run(fmt.Sprintf("fsync=%v", fsync), func(b *testing.B) {
+			d, err := store.OpenDurable(b.TempDir(), store.Options{
+				SnapshotEvery: -1, // isolate the append path
+				FsyncEach:     fsync,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer d.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := d.Insert(zerber.ListID(i%64), benchElement(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkStoreMemoryInsert(b *testing.B) {
+	m := store.NewMemory()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Insert(zerber.ListID(i%64), benchElement(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStoreRecover(b *testing.B) {
+	const elements = 20000
+	for _, mode := range []struct {
+		name     string
+		snapshot bool
+	}{
+		{"wal-only", false},
+		{"snapshot", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			dir := b.TempDir()
+			d, err := store.OpenDurable(dir, store.Options{SnapshotEvery: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < elements; i++ {
+				if err := d.Insert(zerber.ListID(i%64), benchElement(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if mode.snapshot {
+				if err := d.Snapshot(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := d.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				nd, err := store.OpenDurable(dir, store.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if nd.NumElements() != elements {
+					b.Fatalf("recovered %d elements, want %d", nd.NumElements(), elements)
+				}
+				if err := nd.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

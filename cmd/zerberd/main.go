@@ -6,23 +6,35 @@
 // Usage:
 //
 //	zerberd -addr :8021 -secret-file secret.key \
-//	        -user john=0,1 -user alice=1 [-token-ttl 1h]
+//	        -user john=0,1 -user alice=1 [-token-ttl 1h] \
+//	        [-data-dir /var/lib/zerberd]
+//
+// Without -data-dir the index lives in RAM and dies with the process.
+// With it, every accepted insert/remove is write-ahead logged and
+// periodically folded into a snapshot (internal/store), so a restarted
+// daemon serves the same index — including after a crash that tears
+// the final log record.
 //
 // In a real deployment user registration would come from the
 // enterprise directory; the -user flags model that binding.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"zerberr/internal/server"
+	"zerberr/internal/store"
 )
 
 // userFlags accumulates repeated -user NAME=G1,G2 flags.
@@ -54,6 +66,9 @@ func main() {
 		addr       = flag.String("addr", ":8021", "listen address")
 		secretFile = flag.String("secret-file", "", "file holding the token-signing secret (required)")
 		tokenTTL   = flag.Duration("token-ttl", time.Hour, "authentication token lifetime")
+		dataDir    = flag.String("data-dir", "", "directory for the durable index (WAL + snapshots); empty keeps the index in RAM only")
+		snapEvery  = flag.Int("snapshot-every", store.DefaultSnapshotEvery, "logged operations between automatic snapshots (with -data-dir)")
+		fsyncEach  = flag.Bool("fsync-each", false, "fsync the write-ahead log after every operation (with -data-dir)")
 		users      = userFlags{}
 	)
 	flag.Var(users, "user", "register NAME=G1,G2 (repeatable)")
@@ -70,19 +85,64 @@ func main() {
 		log.Fatalf("secret too short: %d bytes, want at least 16", len(secret))
 	}
 
-	srv := server.New(secret, *tokenTTL)
+	backend := store.Backend(store.NewMemory())
+	var durable *store.Durable
+	if *dataDir != "" {
+		durable, err = store.OpenDurable(*dataDir, store.Options{SnapshotEvery: *snapEvery, FsyncEach: *fsyncEach, Logf: log.Printf})
+		if err != nil {
+			log.Fatalf("opening data dir: %v", err)
+		}
+		backend = durable
+		log.Printf("durable index in %s: recovered %d lists, %d elements (seq %d)",
+			*dataDir, durable.NumLists(), durable.NumElements(), durable.Seq())
+	}
+
+	srv := server.NewWithBackend(secret, *tokenTTL, backend)
 	for name, groups := range users {
 		srv.RegisterUser(name, groups...)
 		log.Printf("registered user %q for groups %v", name, groups)
 	}
 
-	log.Printf("index server listening on %s", *addr)
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	if err := httpSrv.ListenAndServe(); err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("index server listening on %s", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
 		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // a second signal kills immediately
+		log.Print("shutting down")
 	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("serve: %v", err)
+	}
+	if durable != nil {
+		// Fold the tail of the log into a snapshot so the next start
+		// recovers instantly, then flush and close.
+		if err := durable.Snapshot(); err != nil {
+			log.Printf("final snapshot: %v", err)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		log.Printf("closing store: %v", err)
+	}
+	log.Print("bye")
 }

@@ -12,6 +12,10 @@
 //     lists whose elements carry an encrypted payload plus a plaintext
 //     transformed relevance score (TRS); ranks by TRS; enforces group
 //     ACLs; serves ranked ranges for the progressive top-k protocol.
+//   - Storage engines (internal/store): the pluggable backends beneath
+//     the server — a RAM-only map and a durable engine with a
+//     CRC-framed write-ahead log, atomic snapshots and crash recovery,
+//     so a restarted server (cmd/zerberd -data-dir) keeps its index.
 //   - Trusted clients (internal/client): index documents (seal
 //     elements under group keys, compute TRS via the published RSTF)
 //     and execute queries (decrypt, filter, follow-up requests with

@@ -1,0 +1,3 @@
+module zerberr
+
+go 1.24

@@ -7,7 +7,9 @@
 //
 // The server never sees group keys, raw relevance scores, term
 // identities or document identities — only list IDs, group IDs, TRS
-// values and ciphertext.
+// values and ciphertext. Storage is pluggable (internal/store): the
+// default backend keeps lists in RAM; store.Durable adds a write-ahead
+// log and snapshots so a restarted server recovers its index.
 package server
 
 import (
@@ -18,20 +20,14 @@ import (
 	"time"
 
 	"zerberr/internal/crypt"
+	"zerberr/internal/store"
 	"zerberr/internal/zerber"
 )
 
 // StoredElement is what the server keeps and returns per posting
 // element: ciphertext plus the server-visible ranking and ACL fields.
-type StoredElement struct {
-	// Sealed is the encrypted (doc, term, score) payload.
-	Sealed []byte `json:"sealed"`
-	// TRS is the transformed relevance score the server ranks by.
-	TRS float64 `json:"trs"`
-	// Group is the collaboration group owning the element; the server
-	// filters on it per user.
-	Group int `json:"group"`
-}
+// It aliases store.Element so backends and the wire format agree.
+type StoredElement = store.Element
 
 // QueryResponse is one batch of the progressive protocol.
 type QueryResponse struct {
@@ -51,28 +47,32 @@ var (
 	ErrBadRequest  = errors.New("server: bad request")
 )
 
-// Server is an in-memory index server. All methods are safe for
-// concurrent use.
+// ErrNotFound reports a Remove for an element the list does not hold.
+var ErrNotFound = errors.New("server: element not found")
+
+// Server is an index server over a pluggable storage backend. All
+// methods are safe for concurrent use.
 type Server struct {
-	mu       sync.RWMutex
+	mu       sync.RWMutex // guards members and now; the backend locks itself
 	secret   []byte
 	tokenTTL time.Duration
 	now      func() time.Time
 	members  map[string]map[int]bool
-	lists    map[zerber.ListID]*mergedList
+	backend  store.Backend
 }
 
-// mergedList holds one merged posting list sorted by descending TRS.
-// Inserts append and mark the list dirty; the sort is re-established
-// lazily before the next read, so bulk loading stays O(n log n).
-type mergedList struct {
-	elems []StoredElement
-	dirty bool
-}
-
-// New creates a server with the given token-signing secret. tokenTTL
-// bounds token lifetime (zero means one hour).
+// New creates a server with the given token-signing secret and an
+// in-memory backend. tokenTTL bounds token lifetime (zero means one
+// hour).
 func New(secret []byte, tokenTTL time.Duration) *Server {
+	return NewWithBackend(secret, tokenTTL, store.NewMemory())
+}
+
+// NewWithBackend creates a server over an explicit storage backend —
+// store.NewMemory() for the RAM-only server, store.OpenDurable for a
+// crash-safe one. The server owns the backend from here on; close it
+// through Server.Close.
+func NewWithBackend(secret []byte, tokenTTL time.Duration, backend store.Backend) *Server {
 	if tokenTTL <= 0 {
 		tokenTTL = time.Hour
 	}
@@ -81,15 +81,25 @@ func New(secret []byte, tokenTTL time.Duration) *Server {
 		tokenTTL: tokenTTL,
 		now:      time.Now,
 		members:  make(map[string]map[int]bool),
-		lists:    make(map[zerber.ListID]*mergedList),
+		backend:  backend,
 	}
 }
+
+// Close flushes and releases the storage backend.
+func (s *Server) Close() error { return s.backend.Close() }
 
 // SetClock overrides the server clock (tests).
 func (s *Server) SetClock(now func() time.Time) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.now = now
+}
+
+// clock returns the current clock function under the read lock.
+func (s *Server) clock() func() time.Time {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.now
 }
 
 // RegisterUser records the user's group memberships (the enterprise
@@ -135,7 +145,7 @@ func (s *Server) Login(user string) ([]crypt.Token, error) {
 // groups they grant. Invalid or expired tokens are an authentication
 // error, not silently dropped.
 func (s *Server) allowedGroups(toks []crypt.Token) (map[int]bool, error) {
-	now := s.now()
+	now := s.clock()()
 	allowed := make(map[int]bool, len(toks))
 	for _, tok := range toks {
 		if !crypt.VerifyToken(s.secret, tok, now) {
@@ -161,58 +171,7 @@ func (s *Server) Insert(tok crypt.Token, list zerber.ListID, el StoredElement) e
 	if !allowed[el.Group] {
 		return fmt.Errorf("%w: token group %d, element group %d", ErrForbidden, tok.Group, el.Group)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ml := s.lists[list]
-	if ml == nil {
-		ml = &mergedList{}
-		s.lists[list] = ml
-	}
-	ml.insert(el)
-	return nil
-}
-
-// insert appends the element; rank order is re-established lazily.
-func (ml *mergedList) insert(el StoredElement) {
-	ml.elems = append(ml.elems, el)
-	ml.dirty = true
-}
-
-// ensureSorted re-sorts a dirty list. Callers must hold the write
-// lock.
-func (ml *mergedList) ensureSorted() {
-	if !ml.dirty {
-		return
-	}
-	sort.SliceStable(ml.elems, func(i, j int) bool { return elementLess(ml.elems[i], ml.elems[j]) })
-	ml.dirty = false
-}
-
-// elementLess orders by descending TRS. Ties are broken by the sealed
-// payload bytes, which are indistinguishable from random to the
-// server — so tie order carries no term information.
-func elementLess(a, b StoredElement) bool {
-	if a.TRS != b.TRS {
-		return a.TRS > b.TRS
-	}
-	return string(a.Sealed) < string(b.Sealed)
-}
-
-// normalize re-sorts the list if needed, upgrading to the write lock
-// only when there is work to do.
-func (s *Server) normalize(list zerber.ListID) {
-	s.mu.RLock()
-	ml := s.lists[list]
-	dirty := ml != nil && ml.dirty
-	s.mu.RUnlock()
-	if !dirty {
-		return
-	}
-	s.mu.Lock()
-	if ml := s.lists[list]; ml != nil {
-		ml.ensureSorted()
-	}
-	s.mu.Unlock()
+	return s.backend.Insert(list, el)
 }
 
 // Query returns up to count elements of the list starting at offset
@@ -227,35 +186,36 @@ func (s *Server) Query(toks []crypt.Token, list zerber.ListID, offset, count int
 	if err != nil {
 		return QueryResponse{}, err
 	}
-	s.normalize(list)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ml := s.lists[list]
-	if ml == nil {
+	var resp QueryResponse
+	err = s.backend.View(list, func(elems []StoredElement) {
+		var out []StoredElement
+		seen := 0
+		for _, el := range elems {
+			if !allowed[el.Group] {
+				continue
+			}
+			if seen >= offset {
+				if len(out) >= count {
+					// One extra visible element exists: not exhausted.
+					resp = QueryResponse{Elements: out}
+					return
+				}
+				cp := el
+				cp.Sealed = append([]byte(nil), el.Sealed...)
+				out = append(out, cp)
+			}
+			seen++
+		}
+		resp = QueryResponse{Elements: out, Exhausted: true}
+	})
+	if errors.Is(err, store.ErrUnknownList) {
 		return QueryResponse{}, fmt.Errorf("%w: %d", ErrUnknownList, list)
 	}
-	var out []StoredElement
-	seen := 0
-	for _, el := range ml.elems {
-		if !allowed[el.Group] {
-			continue
-		}
-		if seen >= offset {
-			if len(out) >= count {
-				// One extra visible element exists: not exhausted.
-				return QueryResponse{Elements: out}, nil
-			}
-			cp := el
-			cp.Sealed = append([]byte(nil), el.Sealed...)
-			out = append(out, cp)
-		}
-		seen++
+	if err != nil {
+		return QueryResponse{}, err
 	}
-	return QueryResponse{Elements: out, Exhausted: true}, nil
+	return resp, nil
 }
-
-// ErrNotFound reports a Remove for an element the list does not hold.
-var ErrNotFound = errors.New("server: element not found")
 
 // Remove deletes the element whose sealed payload matches exactly,
 // provided the presented token covers the element's group. Deletion is
@@ -270,81 +230,52 @@ func (s *Server) Remove(tok crypt.Token, list zerber.ListID, sealed []byte) erro
 	if err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ml := s.lists[list]
-	if ml == nil {
+	deniedGroup := 0
+	err = s.backend.Remove(list, sealed, func(group int) bool {
+		if allowed[group] {
+			return true
+		}
+		deniedGroup = group
+		return false
+	})
+	switch {
+	case errors.Is(err, store.ErrUnknownList):
 		return fmt.Errorf("%w: %d", ErrUnknownList, list)
+	case errors.Is(err, store.ErrDenied):
+		return fmt.Errorf("%w: element of group %d", ErrForbidden, deniedGroup)
+	case errors.Is(err, store.ErrNotFound):
+		return fmt.Errorf("%w in list %d", ErrNotFound, list)
 	}
-	for i, el := range ml.elems {
-		if string(el.Sealed) != string(sealed) {
-			continue
-		}
-		if !allowed[el.Group] {
-			return fmt.Errorf("%w: element of group %d", ErrForbidden, el.Group)
-		}
-		ml.elems = append(ml.elems[:i], ml.elems[i+1:]...)
-		return nil
-	}
-	return fmt.Errorf("%w in list %d", ErrNotFound, list)
+	return err
 }
 
 // ListLen reports how many elements the list holds in total
 // (administrative/diagnostic; experiments use it for cost accounting).
-func (s *Server) ListLen(list zerber.ListID) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if ml := s.lists[list]; ml != nil {
-		return len(ml.elems)
-	}
-	return 0
-}
+func (s *Server) ListLen(list zerber.ListID) int { return s.backend.Len(list) }
 
 // NumLists reports how many merged lists hold at least one element.
-func (s *Server) NumLists() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.lists)
-}
+func (s *Server) NumLists() int { return s.backend.NumLists() }
 
 // NumElements reports the total number of stored posting elements.
-func (s *Server) NumElements() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	n := 0
-	for _, ml := range s.lists {
-		n += len(ml.elems)
-	}
-	return n
-}
+func (s *Server) NumElements() int { return s.backend.NumElements() }
 
 // Snapshot returns a copy of a list's elements in rank order
 // (adversary's view of a compromised server; used by the attack
 // experiments).
 func (s *Server) Snapshot(list zerber.ListID) []StoredElement {
-	s.normalize(list)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ml := s.lists[list]
-	if ml == nil {
+	var out []StoredElement
+	err := s.backend.View(list, func(elems []StoredElement) {
+		out = make([]StoredElement, len(elems))
+		for i, el := range elems {
+			out[i] = el
+			out[i].Sealed = append([]byte(nil), el.Sealed...)
+		}
+	})
+	if err != nil {
 		return nil
-	}
-	out := make([]StoredElement, len(ml.elems))
-	for i, el := range ml.elems {
-		out[i] = el
-		out[i].Sealed = append([]byte(nil), el.Sealed...)
 	}
 	return out
 }
 
 // Lists returns the IDs of all non-empty lists in ascending order.
-func (s *Server) Lists() []zerber.ListID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]zerber.ListID, 0, len(s.lists))
-	for id := range s.lists {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
+func (s *Server) Lists() []zerber.ListID { return s.backend.Lists() }

@@ -1,0 +1,296 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"zerberr/internal/zerber"
+)
+
+// File names inside a Durable data directory.
+const (
+	walFileName  = "wal.zwal"
+	snapFileName = "snapshot.zsnap"
+	lockFileName = "LOCK"
+)
+
+// Options tunes a Durable store. The zero value is a sensible default.
+type Options struct {
+	// SnapshotEvery is how many logged operations trigger an automatic
+	// snapshot (which compacts the WAL). Zero means DefaultSnapshotEvery;
+	// negative disables automatic snapshots (explicit Snapshot and the
+	// WAL still provide durability).
+	SnapshotEvery int
+	// FsyncEach forces an fsync after every logged operation. Without
+	// it, records are pushed to the OS per operation (surviving process
+	// crashes) and fsynced on Snapshot and Close (an OS crash can lose
+	// the tail written since). The torn-record recovery path handles
+	// whatever the crash leaves behind either way.
+	FsyncEach bool
+	// Logf, when set, receives operational warnings the store cannot
+	// return to any caller (automatic-snapshot failures, WAL poisoning).
+	Logf func(format string, args ...any)
+}
+
+// DefaultSnapshotEvery is the automatic compaction threshold.
+const DefaultSnapshotEvery = 1 << 16
+
+// Durable is a crash-safe Backend: a Memory store whose mutations are
+// write-ahead logged, periodically folded into an atomic snapshot, and
+// replayed on startup. All methods are safe for concurrent use.
+type Durable struct {
+	mem *Memory
+	dir string
+	opt Options
+
+	mu           sync.Mutex // serializes mutations, log appends, snapshots
+	wal          *wal
+	lock         *os.File // held flock on the data directory
+	seq          uint64   // sequence of the last logged operation
+	opsSinceSnap int
+	lastSnapErr  error // most recent automatic-snapshot failure, if any
+	walErr       error // sticky log-write failure; set when the on-disk state is ambiguous
+	closed       bool
+}
+
+// OpenDurable opens (or initializes) the store in dir, recovering
+// state from the snapshot plus the WAL tail. A torn final WAL record —
+// the normal residue of a crash mid-append — is truncated away and
+// recovery returns everything up to the last complete operation.
+func OpenDurable(dir string, opt Options) (*Durable, error) {
+	if opt.SnapshotEvery == 0 {
+		opt.SnapshotEvery = DefaultSnapshotEvery
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating data dir: %w", err)
+	}
+	lock, err := lockDir(filepath.Join(dir, lockFileName))
+	if err != nil {
+		return nil, fmt.Errorf("store: locking %s: %w", dir, err)
+	}
+	fail := func(err error) (*Durable, error) {
+		unlockDir(lock)
+		return nil, err
+	}
+	snapSeq, mem, err := readSnapshot(filepath.Join(dir, snapFileName))
+	if err != nil {
+		return fail(fmt.Errorf("store: loading snapshot: %w", err))
+	}
+	walPath := filepath.Join(dir, walFileName)
+	maxSeq, err := replayWAL(walPath, snapSeq, func(rec walRecord) {
+		switch rec.op {
+		case opInsert:
+			mem.insertLocked(rec.list, Element{Sealed: rec.sealed, TRS: rec.trs, Group: rec.group})
+		case opRemove:
+			// A remove that no longer matches (its insert was folded
+			// into the snapshot differently, or the log was truncated
+			// between the pair) is a no-op, not corruption.
+			_, _ = mem.removeLocked(rec.list, rec.sealed, nil)
+		}
+	})
+	if err != nil {
+		return fail(fmt.Errorf("store: replaying WAL: %w", err))
+	}
+	w, err := openWALForAppend(walPath)
+	if err != nil {
+		return fail(fmt.Errorf("store: opening WAL: %w", err))
+	}
+	return &Durable{mem: mem, dir: dir, opt: opt, wal: w, lock: lock, seq: maxSeq}, nil
+}
+
+// logLocked assigns the next sequence and appends the record. Callers
+// hold d.mu.
+//
+// A failed append or sync leaves the on-disk log in an ambiguous
+// state: the record may be partially written (a later append would
+// turn that torn tail into mid-file corruption) or fully framed yet
+// reported failed (a reused sequence number would make recovery
+// double-apply). So any write failure poisons the log — mutations are
+// refused until a snapshot succeeds, which captures the live state,
+// truncates the log in place, and clears the poison.
+func (d *Durable) logLocked(rec walRecord) error {
+	if d.walErr != nil {
+		return fmt.Errorf("store: WAL poisoned by earlier failure (snapshot to recover): %w", d.walErr)
+	}
+	rec.seq = d.seq + 1
+	if err := d.wal.append(rec); err != nil {
+		d.poisonLocked(err)
+		return fmt.Errorf("store: appending WAL record: %w", err)
+	}
+	// The record is framed in the OS; the sequence is consumed whether
+	// or not the sync below succeeds.
+	d.seq = rec.seq
+	d.opsSinceSnap++
+	if d.opt.FsyncEach {
+		if err := d.wal.sync(); err != nil {
+			d.poisonLocked(err)
+			return fmt.Errorf("store: syncing WAL: %w", err)
+		}
+	}
+	return nil
+}
+
+func (d *Durable) poisonLocked(err error) {
+	d.walErr = err
+	if d.opt.Logf != nil {
+		d.opt.Logf("store: WAL write failed, refusing further mutations until a snapshot succeeds: %v", err)
+	}
+}
+
+// maybeSnapshotLocked compacts when the op threshold is crossed. A
+// failure here never propagates to the mutation that tripped it — the
+// mutation is already durably logged, and failing it would make the
+// client retry a write that took effect. The error is kept for
+// LastSnapshotError and the snapshot retried a full interval later
+// (the WAL keeps growing meanwhile, so nothing is lost).
+func (d *Durable) maybeSnapshotLocked() {
+	if d.opt.SnapshotEvery < 0 || d.opsSinceSnap < d.opt.SnapshotEvery {
+		return
+	}
+	d.lastSnapErr = d.snapshotLocked()
+	d.opsSinceSnap = 0
+	if d.lastSnapErr != nil && d.opt.Logf != nil {
+		d.opt.Logf("store: automatic snapshot failed (will retry in %d ops): %v", d.opt.SnapshotEvery, d.lastSnapErr)
+	}
+}
+
+// LastSnapshotError reports the most recent automatic-snapshot
+// failure, or nil. A later successful snapshot clears it.
+func (d *Durable) LastSnapshotError() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lastSnapErr
+}
+
+// Insert implements Backend: validate nothing (inserts always apply),
+// log, then mutate memory.
+func (d *Durable) Insert(list zerber.ListID, el Element) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if err := d.logLocked(walRecord{op: opInsert, list: list, group: el.Group, trs: el.TRS, sealed: el.Sealed}); err != nil {
+		return err
+	}
+	if err := d.mem.Insert(list, el); err != nil {
+		return err
+	}
+	d.maybeSnapshotLocked()
+	return nil
+}
+
+// Remove implements Backend. The ACL predicate runs against memory
+// first; only an accepted removal reaches the log, so replay never has
+// to re-evaluate access control.
+func (d *Durable) Remove(list zerber.ListID, sealed []byte, allow func(group int) bool) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	d.mem.mu.Lock()
+	removed, err := d.mem.removeLocked(list, sealed, allow)
+	d.mem.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	// Memory no longer holds the element; a crash before this append
+	// loses only an un-acknowledged removal, which reappears on
+	// restart — the client retries. The reverse order would ack
+	// removals the ACL rejected. If the append fails while the
+	// process lives on, put the element back so live and recovered
+	// state stay identical.
+	if err := d.logLocked(walRecord{op: opRemove, list: list, sealed: sealed}); err != nil {
+		_ = d.mem.Insert(list, removed)
+		return err
+	}
+	d.maybeSnapshotLocked()
+	return nil
+}
+
+// Snapshot writes the full state atomically and truncates the WAL —
+// the compaction step. Safe to call at any time; concurrent reads
+// proceed, concurrent mutations wait.
+func (d *Durable) Snapshot() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	return d.snapshotLocked()
+}
+
+func (d *Durable) snapshotLocked() error {
+	// With a healthy log, put it on disk before the snapshot claims
+	// its sequence. With a poisoned log the snapshot itself is the
+	// recovery path — it is fsynced and holds everything up to seq —
+	// so a failing sync must not block it.
+	if err := d.wal.sync(); err != nil && d.walErr == nil {
+		return fmt.Errorf("store: syncing WAL before snapshot: %w", err)
+	}
+	if err := writeSnapshot(filepath.Join(d.dir, snapFileName), d.seq, d.mem); err != nil {
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	// The snapshot is durable and carries seq, so the log can restart
+	// empty. The reset happens in place on the live handle — if it
+	// fails, the old log stays valid (recovery skips records at or
+	// below the snapshot sequence, the same property that makes a
+	// crash between rename and truncation safe) and appends continue.
+	if err := d.wal.reset(); err != nil {
+		return fmt.Errorf("store: truncating WAL: %w", err)
+	}
+	// The snapshot captured the live state and the log restarted
+	// empty, so any earlier ambiguous write is moot.
+	d.walErr = nil
+	d.opsSinceSnap = 0
+	return nil
+}
+
+// View implements Backend.
+func (d *Durable) View(list zerber.ListID, fn func(elems []Element)) error {
+	return d.mem.View(list, fn)
+}
+
+// Len implements Backend.
+func (d *Durable) Len(list zerber.ListID) int { return d.mem.Len(list) }
+
+// Lists implements Backend.
+func (d *Durable) Lists() []zerber.ListID { return d.mem.Lists() }
+
+// NumLists implements Backend.
+func (d *Durable) NumLists() int { return d.mem.NumLists() }
+
+// NumElements implements Backend.
+func (d *Durable) NumElements() int { return d.mem.NumElements() }
+
+// Seq returns the sequence number of the last logged operation
+// (diagnostics, tests).
+func (d *Durable) Seq() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.seq
+}
+
+// Close flushes and fsyncs the WAL and releases the store. The data
+// directory can be reopened afterwards.
+func (d *Durable) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	err := d.wal.close()
+	if uerr := unlockDir(d.lock); err == nil {
+		err = uerr
+	}
+	if err != nil {
+		return fmt.Errorf("store: closing: %w", err)
+	}
+	return nil
+}
+
+var _ Backend = (*Durable)(nil)

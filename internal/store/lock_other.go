@@ -1,0 +1,13 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// Non-unix platforms run without the flock guard; the data directory
+// must not be shared between processes.
+func lockDir(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+}
+
+func unlockDir(f *os.File) error { return f.Close() }

@@ -1,0 +1,32 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// lockDir takes an exclusive flock on the data directory's LOCK file
+// so two Durable instances cannot interleave appends into one WAL.
+// The kernel releases the lock when the process dies, so a crashed
+// owner never blocks recovery.
+func lockDir(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, ErrLocked
+	}
+	return f, nil
+}
+
+func unlockDir(f *os.File) error {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,224 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"zerberr/internal/zerber"
+)
+
+// Snapshot format (integers are unsigned varints unless noted, floats
+// 64-bit IEEE big-endian):
+//
+//	magic "ZSNAP1" | body | crc32-IEEE(body) (4B big-endian)
+//	body: seq | numLists |
+//	  numLists × ( listID | numElems |
+//	    numElems × ( group (signed varint) | trs (8B) |
+//	                 sealedLen | sealed ) )
+//
+// Elements are written in rank order, so recovery can serve queries
+// without re-sorting. seq is the last WAL sequence number the snapshot
+// contains; recovery replays only WAL records beyond it. Snapshots are
+// written to a temp file and renamed into place, so a crash mid-write
+// leaves the previous snapshot intact.
+
+var snapMagic = []byte("ZSNAP1")
+
+// ErrBadSnapshot reports a corrupted or truncated snapshot file.
+var ErrBadSnapshot = errors.New("store: bad snapshot")
+
+// writeSnapshot atomically replaces the snapshot at path with the
+// given state.
+func writeSnapshot(path string, seq uint64, m *Memory) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp) // no-op after a successful rename
+	if err := encodeSnapshot(f, seq, m); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+func encodeSnapshot(f io.Writer, seq uint64, m *Memory) error {
+	bw := bufio.NewWriter(f)
+	if _, err := bw.Write(snapMagic); err != nil {
+		return err
+	}
+	// Tee the body through the checksum so the trailing CRC covers
+	// exactly what a reader will verify.
+	sum := crc32.NewIEEE()
+	w := io.MultiWriter(bw, sum)
+	var vbuf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(vbuf[:], v)
+		_, err := w.Write(vbuf[:n])
+		return err
+	}
+	writeVarint := func(v int64) error {
+		n := binary.PutVarint(vbuf[:], v)
+		_, err := w.Write(vbuf[:n])
+		return err
+	}
+	if err := writeUvarint(seq); err != nil {
+		return err
+	}
+	lists := m.Lists()
+	if err := writeUvarint(uint64(len(lists))); err != nil {
+		return err
+	}
+	var f8 [8]byte
+	for _, id := range lists {
+		var viewErr error
+		err := m.View(id, func(elems []Element) {
+			if viewErr = writeUvarint(uint64(id)); viewErr != nil {
+				return
+			}
+			if viewErr = writeUvarint(uint64(len(elems))); viewErr != nil {
+				return
+			}
+			for _, el := range elems {
+				if viewErr = writeVarint(int64(el.Group)); viewErr != nil {
+					return
+				}
+				binary.BigEndian.PutUint64(f8[:], math.Float64bits(el.TRS))
+				if _, viewErr = w.Write(f8[:]); viewErr != nil {
+					return
+				}
+				if viewErr = writeUvarint(uint64(len(el.Sealed))); viewErr != nil {
+					return
+				}
+				if _, viewErr = w.Write(el.Sealed); viewErr != nil {
+					return
+				}
+			}
+		})
+		if err != nil {
+			// The list vanished between Lists and View (concurrent
+			// remove); write it as empty to keep the count honest.
+			if errors.Is(err, ErrUnknownList) {
+				if err := writeUvarint(uint64(id)); err != nil {
+					return err
+				}
+				if err := writeUvarint(0); err != nil {
+					return err
+				}
+				continue
+			}
+			return err
+		}
+		if viewErr != nil {
+			return viewErr
+		}
+	}
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], sum.Sum32())
+	if _, err := bw.Write(crc[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// readSnapshot loads the snapshot at path into a fresh Memory. A
+// missing file yields an empty store at sequence zero — a first boot.
+func readSnapshot(path string) (seq uint64, m *Memory, _ error) {
+	m = NewMemory()
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, m, nil
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(data) < len(snapMagic)+4 || string(data[:len(snapMagic)]) != string(snapMagic) {
+		return 0, nil, fmt.Errorf("%w: missing magic", ErrBadSnapshot)
+	}
+	body := data[len(snapMagic) : len(data)-4]
+	want := binary.BigEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != want {
+		return 0, nil, fmt.Errorf("%w: checksum mismatch", ErrBadSnapshot)
+	}
+	rd := newByteCursor(body)
+	seq, err = binary.ReadUvarint(rd)
+	if err != nil {
+		return 0, nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	numLists, err := binary.ReadUvarint(rd)
+	if err != nil {
+		return 0, nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	for i := uint64(0); i < numLists; i++ {
+		id, err := binary.ReadUvarint(rd)
+		if err != nil {
+			return 0, nil, fmt.Errorf("%w: list %d: %v", ErrBadSnapshot, i, err)
+		}
+		n, err := binary.ReadUvarint(rd)
+		if err != nil {
+			return 0, nil, fmt.Errorf("%w: list %d: %v", ErrBadSnapshot, i, err)
+		}
+		if n > uint64(rd.remaining()) {
+			return 0, nil, fmt.Errorf("%w: list %d claims %d elements with %d bytes left", ErrBadSnapshot, i, n, rd.remaining())
+		}
+		elems := make([]Element, n)
+		for j := range elems {
+			group, err := binary.ReadVarint(rd)
+			if err != nil {
+				return 0, nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+			}
+			f8, err := rd.take(8)
+			if err != nil {
+				return 0, nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+			}
+			sl, err := binary.ReadUvarint(rd)
+			if err != nil {
+				return 0, nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+			}
+			sealed, err := rd.take(int(sl))
+			if err != nil {
+				return 0, nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+			}
+			elems[j] = Element{
+				Sealed: append([]byte(nil), sealed...),
+				TRS:    math.Float64frombits(binary.BigEndian.Uint64(f8)),
+				Group:  int(group),
+			}
+		}
+		m.load(zerber.ListID(id), elems, true)
+	}
+	if rd.remaining() != 0 {
+		return 0, nil, fmt.Errorf("%w: %d trailing bytes", ErrBadSnapshot, rd.remaining())
+	}
+	return seq, m, nil
+}
+
+// syncDir fsyncs a directory so a rename within it is durable.
+// Best-effort: some platforms refuse to sync directories.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}

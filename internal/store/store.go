@@ -1,0 +1,252 @@
+// Package store provides the storage engines behind the untrusted
+// index server: a Backend interface over merged posting lists, the
+// original RAM-only implementation (Memory), and a durable engine
+// (Durable) that layers a CRC-framed write-ahead log and periodic
+// snapshots on top of it so a server restart recovers the full index.
+//
+// Everything a backend stores is already safe to outsource: sealed
+// payloads, transformed relevance scores and group IDs (Section 3.1 of
+// the paper — the index servers are "largely untrusted" and hold the
+// index on outsourced storage). Durability therefore adds no new
+// leakage; it only changes where the sealed bytes live.
+package store
+
+import (
+	"errors"
+	"sort"
+	"sync"
+
+	"zerberr/internal/zerber"
+)
+
+// Element is one stored posting element: ciphertext plus the
+// server-visible ranking and ACL fields. server.StoredElement aliases
+// this type, so the wire format is unchanged.
+type Element struct {
+	// Sealed is the encrypted (doc, term, score) payload.
+	Sealed []byte `json:"sealed"`
+	// TRS is the transformed relevance score the server ranks by.
+	TRS float64 `json:"trs"`
+	// Group is the collaboration group owning the element.
+	Group int `json:"group"`
+}
+
+// Less orders elements by descending TRS. Ties are broken by the
+// sealed payload bytes, which are indistinguishable from random to the
+// server — so tie order carries no term information.
+func Less(a, b Element) bool {
+	if a.TRS != b.TRS {
+		return a.TRS > b.TRS
+	}
+	return string(a.Sealed) < string(b.Sealed)
+}
+
+// Errors returned by backends. The server layer translates these into
+// its own API errors.
+var (
+	// ErrUnknownList reports an operation on a list the backend does
+	// not hold.
+	ErrUnknownList = errors.New("store: unknown posting list")
+	// ErrNotFound reports a Remove for an element the list does not
+	// hold.
+	ErrNotFound = errors.New("store: element not found")
+	// ErrDenied reports a Remove vetoed by the caller's allow
+	// predicate.
+	ErrDenied = errors.New("store: remove denied")
+	// ErrClosed reports an operation on a closed backend.
+	ErrClosed = errors.New("store: backend closed")
+	// ErrLocked reports a data directory already owned by another
+	// live Durable instance (possibly in another process).
+	ErrLocked = errors.New("store: data directory locked by another process")
+)
+
+// Backend is the storage engine beneath server.Server. All
+// implementations are safe for concurrent use; access control and
+// authentication stay in the server layer above.
+type Backend interface {
+	// Insert stores an element into the given merged list, creating
+	// the list if needed.
+	Insert(list zerber.ListID, el Element) error
+	// Remove deletes the element whose sealed payload matches exactly.
+	// Before deleting it calls allow with the element's group; a false
+	// return aborts with ErrDenied (the ACL check must observe the
+	// element atomically with its removal). A nil allow permits all.
+	Remove(list zerber.ListID, sealed []byte, allow func(group int) bool) error
+	// View calls fn with the list's elements in rank order (descending
+	// TRS). The slice is only valid during the call: fn must not
+	// retain or mutate it.
+	View(list zerber.ListID, fn func(elems []Element)) error
+	// Len reports how many elements the list holds (0 if absent).
+	Len(list zerber.ListID) int
+	// Lists returns the IDs of all known lists in ascending order.
+	// Lists emptied by removals remain known.
+	Lists() []zerber.ListID
+	// NumLists reports how many merged lists exist, including emptied
+	// ones.
+	NumLists() int
+	// NumElements reports the total number of stored elements.
+	NumElements() int
+	// Close releases the backend's resources, flushing any buffered
+	// state to stable storage first.
+	Close() error
+}
+
+// Memory is the RAM-only backend: the server's original storage,
+// factored out. It is the recovery target for Durable and the default
+// for tests and experiments.
+type Memory struct {
+	mu    sync.RWMutex
+	lists map[zerber.ListID]*mergedList
+}
+
+// mergedList holds one merged posting list sorted by descending TRS.
+// Inserts append and mark the list dirty; the sort is re-established
+// lazily before the next read, so bulk loading stays O(n log n).
+type mergedList struct {
+	elems []Element
+	dirty bool
+}
+
+// NewMemory creates an empty in-memory backend.
+func NewMemory() *Memory {
+	return &Memory{lists: make(map[zerber.ListID]*mergedList)}
+}
+
+// Insert implements Backend. It never fails.
+func (m *Memory) Insert(list zerber.ListID, el Element) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.insertLocked(list, el)
+	return nil
+}
+
+func (m *Memory) insertLocked(list zerber.ListID, el Element) {
+	ml := m.lists[list]
+	if ml == nil {
+		ml = &mergedList{}
+		m.lists[list] = ml
+	}
+	ml.elems = append(ml.elems, el)
+	ml.dirty = true
+}
+
+// Remove implements Backend. A list emptied by removals stays present
+// (and keeps answering queries with an empty, exhausted view) — the
+// original server semantics.
+func (m *Memory) Remove(list zerber.ListID, sealed []byte, allow func(group int) bool) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, err := m.removeLocked(list, sealed, allow)
+	return err
+}
+
+// removeLocked deletes the matching element and returns it so a
+// caller whose follow-up work fails can reinsert it (Durable's WAL
+// rollback).
+func (m *Memory) removeLocked(list zerber.ListID, sealed []byte, allow func(group int) bool) (Element, error) {
+	ml := m.lists[list]
+	if ml == nil {
+		return Element{}, ErrUnknownList
+	}
+	for i, el := range ml.elems {
+		if string(el.Sealed) != string(sealed) {
+			continue
+		}
+		if allow != nil && !allow(el.Group) {
+			return Element{}, ErrDenied
+		}
+		ml.elems = append(ml.elems[:i], ml.elems[i+1:]...)
+		return el, nil
+	}
+	return Element{}, ErrNotFound
+}
+
+// ensureSorted re-sorts a dirty list. Callers must hold the write
+// lock.
+func (ml *mergedList) ensureSorted() {
+	if !ml.dirty {
+		return
+	}
+	sort.SliceStable(ml.elems, func(i, j int) bool { return Less(ml.elems[i], ml.elems[j]) })
+	ml.dirty = false
+}
+
+// View implements Backend, upgrading to the write lock only when the
+// list needs re-sorting.
+func (m *Memory) View(list zerber.ListID, fn func(elems []Element)) error {
+	m.mu.RLock()
+	ml := m.lists[list]
+	if ml == nil {
+		m.mu.RUnlock()
+		return ErrUnknownList
+	}
+	if !ml.dirty {
+		defer m.mu.RUnlock()
+		fn(ml.elems)
+		return nil
+	}
+	m.mu.RUnlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ml = m.lists[list]
+	if ml == nil {
+		return ErrUnknownList
+	}
+	ml.ensureSorted()
+	fn(ml.elems)
+	return nil
+}
+
+// Len implements Backend.
+func (m *Memory) Len(list zerber.ListID) int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if ml := m.lists[list]; ml != nil {
+		return len(ml.elems)
+	}
+	return 0
+}
+
+// Lists implements Backend.
+func (m *Memory) Lists() []zerber.ListID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]zerber.ListID, 0, len(m.lists))
+	for id := range m.lists {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumLists implements Backend.
+func (m *Memory) NumLists() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.lists)
+}
+
+// NumElements implements Backend.
+func (m *Memory) NumElements() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	n := 0
+	for _, ml := range m.lists {
+		n += len(ml.elems)
+	}
+	return n
+}
+
+// Close implements Backend. Memory holds no external resources.
+func (m *Memory) Close() error { return nil }
+
+// load replaces a list's contents wholesale (snapshot recovery). The
+// elements are assumed already rank-sorted when sorted is true. Empty
+// lists are kept present, mirroring live state after removals.
+func (m *Memory) load(list zerber.ListID, elems []Element, sorted bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.lists[list] = &mergedList{elems: elems, dirty: !sorted && len(elems) > 0}
+}
+
+var _ Backend = (*Memory)(nil)

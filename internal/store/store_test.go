@@ -1,0 +1,161 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"zerberr/internal/zerber"
+)
+
+// backends returns a fresh instance of every Backend implementation so
+// the contract tests run against each.
+func backends(t *testing.T) map[string]Backend {
+	t.Helper()
+	d, err := OpenDurable(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatalf("OpenDurable: %v", err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return map[string]Backend{"memory": NewMemory(), "durable": d}
+}
+
+func el(payload string, trs float64, group int) Element {
+	return Element{Sealed: []byte(payload), TRS: trs, Group: group}
+}
+
+// dump extracts the full ranked state of a backend for comparison.
+func dump(t *testing.T, b Backend) map[zerber.ListID][]Element {
+	t.Helper()
+	out := make(map[zerber.ListID][]Element)
+	for _, id := range b.Lists() {
+		if err := b.View(id, func(elems []Element) {
+			cp := make([]Element, len(elems))
+			for i, e := range elems {
+				cp[i] = Element{Sealed: append([]byte(nil), e.Sealed...), TRS: e.TRS, Group: e.Group}
+			}
+			out[id] = cp
+		}); err != nil {
+			t.Fatalf("View(%d): %v", id, err)
+		}
+	}
+	return out
+}
+
+func TestBackendInsertViewRankOrder(t *testing.T) {
+	for name, b := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			ins := []Element{el("c", 1.0, 0), el("a", 3.0, 0), el("b", 2.0, 1), el("d", 3.0, 1)}
+			for _, e := range ins {
+				if err := b.Insert(7, e); err != nil {
+					t.Fatalf("Insert: %v", err)
+				}
+			}
+			var got []string
+			if err := b.View(7, func(elems []Element) {
+				for _, e := range elems {
+					got = append(got, string(e.Sealed))
+				}
+			}); err != nil {
+				t.Fatalf("View: %v", err)
+			}
+			// Descending TRS; the 3.0 tie breaks on sealed bytes.
+			want := []string{"a", "d", "b", "c"}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("rank order %v, want %v", got, want)
+			}
+			if b.Len(7) != 4 || b.NumLists() != 1 || b.NumElements() != 4 {
+				t.Fatalf("Len=%d NumLists=%d NumElements=%d", b.Len(7), b.NumLists(), b.NumElements())
+			}
+		})
+	}
+}
+
+func TestBackendRemove(t *testing.T) {
+	for name, b := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := b.Insert(1, el("x", 1, 5)); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Remove(9, []byte("x"), nil); !errors.Is(err, ErrUnknownList) {
+				t.Fatalf("unknown list: %v", err)
+			}
+			if err := b.Remove(1, []byte("nope"), nil); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("not found: %v", err)
+			}
+			denied := -1
+			if err := b.Remove(1, []byte("x"), func(g int) bool { denied = g; return false }); !errors.Is(err, ErrDenied) {
+				t.Fatalf("denied: %v", err)
+			}
+			if denied != 5 {
+				t.Fatalf("allow saw group %d, want 5", denied)
+			}
+			if b.Len(1) != 1 {
+				t.Fatal("denied remove must not delete")
+			}
+			if err := b.Remove(1, []byte("x"), func(g int) bool { return g == 5 }); err != nil {
+				t.Fatalf("allowed remove: %v", err)
+			}
+			// The emptied list stays known (seed server semantics: a
+			// query gets an empty exhausted view, not unknown-list).
+			if b.NumLists() != 1 || b.Len(1) != 0 {
+				t.Fatalf("after remove: NumLists=%d Len=%d", b.NumLists(), b.Len(1))
+			}
+			viewed := false
+			if err := b.View(1, func(elems []Element) { viewed = len(elems) == 0 }); err != nil || !viewed {
+				t.Fatalf("View of emptied list: err=%v sawEmpty=%v", err, viewed)
+			}
+		})
+	}
+}
+
+func TestBackendLists(t *testing.T) {
+	for name, b := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, id := range []zerber.ListID{9, 2, 5} {
+				if err := b.Insert(id, el(fmt.Sprintf("p%d", id), 1, 0)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want := []zerber.ListID{2, 5, 9}
+			if got := b.Lists(); !reflect.DeepEqual(got, want) {
+				t.Fatalf("Lists() = %v, want %v", got, want)
+			}
+		})
+	}
+}
+
+func TestBackendConcurrentAccess(t *testing.T) {
+	for name, b := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			done := make(chan error, 8)
+			for w := 0; w < 4; w++ {
+				go func(w int) {
+					for i := 0; i < 50; i++ {
+						if err := b.Insert(zerber.ListID(w%2), el(fmt.Sprintf("w%d-%d", w, i), float64(i), 0)); err != nil {
+							done <- err
+							return
+						}
+					}
+					done <- nil
+				}(w)
+				go func() {
+					for i := 0; i < 50; i++ {
+						_ = b.View(0, func([]Element) {})
+						b.NumElements()
+					}
+					done <- nil
+				}()
+			}
+			for i := 0; i < 8; i++ {
+				if err := <-done; err != nil {
+					t.Fatal(err)
+				}
+			}
+			if n := b.NumElements(); n != 200 {
+				t.Fatalf("NumElements = %d, want 200", n)
+			}
+		})
+	}
+}

@@ -1,0 +1,363 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"zerberr/internal/zerber"
+)
+
+// Write-ahead log format (integers are unsigned varints unless noted,
+// floats 64-bit IEEE big-endian — the serialization idiom of
+// internal/index and internal/zerber):
+//
+//	file:    magic "ZWAL1" | record*
+//	record:  payloadLen | payload | crc32-IEEE(payload) (4B big-endian)
+//	payload: seq | op (1B) |
+//	         op=insert: list | group (signed varint) | trs (8B) |
+//	                    sealedLen | sealed
+//	         op=remove: list | sealedLen | sealed
+//
+// The sequence number ties the log to snapshots: a snapshot records
+// the last sequence it contains, and recovery skips WAL records at or
+// below it, so a crash between snapshot rename and log truncation
+// cannot double-apply operations. The trailing CRC frames each record
+// so recovery can detect a torn final write and truncate it away.
+
+var walMagic = []byte("ZWAL1")
+
+const (
+	opInsert byte = 1
+	opRemove byte = 2
+
+	// maxWALRecord bounds a single record's payload so a corrupted
+	// length prefix cannot trigger a huge allocation during recovery.
+	maxWALRecord = 1 << 28
+)
+
+// ErrBadWAL reports a corrupted write-ahead log (damage before the
+// final record, which torn-write truncation cannot explain away).
+var ErrBadWAL = errors.New("store: bad write-ahead log")
+
+// walRecord is one logged operation in decoded form.
+type walRecord struct {
+	seq    uint64
+	op     byte
+	list   zerber.ListID
+	group  int     // insert only
+	trs    float64 // insert only
+	sealed []byte
+}
+
+// appendRecord frames and writes one record to w.
+func appendRecord(w *bufio.Writer, rec walRecord) error {
+	payload := encodeWALPayload(rec)
+	var vbuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(vbuf[:], uint64(len(payload)))
+	if _, err := w.Write(vbuf[:n]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	_, err := w.Write(crc[:])
+	return err
+}
+
+func encodeWALPayload(rec walRecord) []byte {
+	buf := make([]byte, 0, 2*binary.MaxVarintLen64+len(rec.sealed)+16)
+	buf = binary.AppendUvarint(buf, rec.seq)
+	buf = append(buf, rec.op)
+	buf = binary.AppendUvarint(buf, uint64(rec.list))
+	if rec.op == opInsert {
+		buf = binary.AppendVarint(buf, int64(rec.group))
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(rec.trs))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(rec.sealed)))
+	buf = append(buf, rec.sealed...)
+	return buf
+}
+
+func decodeWALPayload(payload []byte) (walRecord, error) {
+	var rec walRecord
+	rd := newByteCursor(payload)
+	seq, err := binary.ReadUvarint(rd)
+	if err != nil {
+		return rec, err
+	}
+	rec.seq = seq
+	op, err := rd.ReadByte()
+	if err != nil {
+		return rec, err
+	}
+	rec.op = op
+	list, err := binary.ReadUvarint(rd)
+	if err != nil {
+		return rec, err
+	}
+	rec.list = zerber.ListID(list)
+	switch op {
+	case opInsert:
+		group, err := binary.ReadVarint(rd)
+		if err != nil {
+			return rec, err
+		}
+		rec.group = int(group)
+		f8, err := rd.take(8)
+		if err != nil {
+			return rec, err
+		}
+		rec.trs = math.Float64frombits(binary.BigEndian.Uint64(f8))
+	case opRemove:
+	default:
+		return rec, fmt.Errorf("unknown op %d", op)
+	}
+	n, err := binary.ReadUvarint(rd)
+	if err != nil {
+		return rec, err
+	}
+	if n != uint64(rd.remaining()) {
+		return rec, fmt.Errorf("sealed length %d, %d bytes remain", n, rd.remaining())
+	}
+	sealed, err := rd.take(int(n))
+	if err != nil {
+		return rec, err
+	}
+	rec.sealed = append([]byte(nil), sealed...)
+	return rec, nil
+}
+
+// byteCursor is a minimal io.ByteReader over a slice with bulk takes.
+type byteCursor struct {
+	buf []byte
+	off int
+}
+
+func newByteCursor(b []byte) *byteCursor { return &byteCursor{buf: b} }
+
+func (c *byteCursor) ReadByte() (byte, error) {
+	if c.off >= len(c.buf) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	b := c.buf[c.off]
+	c.off++
+	return b, nil
+}
+
+func (c *byteCursor) take(n int) ([]byte, error) {
+	if n < 0 || c.off+n > len(c.buf) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	b := c.buf[c.off : c.off+n]
+	c.off += n
+	return b, nil
+}
+
+func (c *byteCursor) remaining() int { return len(c.buf) - c.off }
+
+// wal is an append-only log open for writing.
+type wal struct {
+	f  *os.File
+	bw *bufio.Writer
+}
+
+// createWAL truncates (or creates) the log at path, writes the header,
+// and makes the directory entry durable — without the dir sync an OS
+// crash on first boot could drop the file even after per-record
+// fsyncs.
+func createWAL(path string) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	w := &wal{f: f, bw: bufio.NewWriter(f)}
+	if _, err := w.bw.Write(walMagic); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := w.bw.Flush(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// openWALForAppend opens an existing, already-recovered log for
+// further appends.
+func openWALForAppend(path string) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &wal{f: f, bw: bufio.NewWriter(f)}, nil
+}
+
+// append frames the record and pushes it to the OS. The data is
+// crash-consistent with respect to process death after append returns;
+// call sync for durability across OS crashes too.
+func (w *wal) append(rec walRecord) error {
+	if err := appendRecord(w.bw, rec); err != nil {
+		return err
+	}
+	return w.bw.Flush()
+}
+
+// reset truncates the log back to a bare header, in place on the live
+// handle (the file is opened O_APPEND, so the next write lands at the
+// new end). Callers must have synced first; buffered bytes are
+// discarded.
+func (w *wal) reset() error {
+	w.bw.Reset(w.f)
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := w.bw.Write(walMagic); err != nil {
+		return err
+	}
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+func (w *wal) sync() error {
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+func (w *wal) close() error {
+	err := w.sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// replayWAL reads the log at path and calls apply for every intact
+// record with seq > afterSeq, in order. A torn final record (truncated
+// frame or CRC mismatch at the tail) is tolerated: the file is
+// truncated back to the last intact record and replay succeeds with
+// what came before. Damage that is provably not a torn tail — intact
+// framing around an undecodable payload followed by more data — is
+// ErrBadWAL. It returns the highest sequence seen (afterSeq if none).
+//
+// A missing file is not an error: a fresh log is created.
+func replayWAL(path string, afterSeq uint64, apply func(walRecord)) (maxSeq uint64, _ error) {
+	maxSeq = afterSeq
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		w, err := createWAL(path)
+		if err != nil {
+			return maxSeq, err
+		}
+		return maxSeq, w.close()
+	}
+	if err != nil {
+		return maxSeq, err
+	}
+	defer f.Close()
+
+	cr := &countingReader{r: bufio.NewReader(f)}
+	magic := make([]byte, len(walMagic))
+	if _, err := io.ReadFull(cr, magic); err != nil {
+		// Shorter than the header: treat as torn at offset zero and
+		// rebuild the header.
+		return maxSeq, rewriteWALHeader(path)
+	}
+	if string(magic) != string(walMagic) {
+		return maxSeq, fmt.Errorf("%w: magic %q", ErrBadWAL, magic)
+	}
+
+	goodEnd := cr.n // offset just past the last intact record
+	for {
+		payloadLen, err := binary.ReadUvarint(cr)
+		if errors.Is(err, io.EOF) {
+			return maxSeq, nil // clean end of log
+		}
+		if err != nil {
+			break // torn length prefix
+		}
+		if payloadLen > maxWALRecord {
+			return maxSeq, fmt.Errorf("%w: record of %d bytes", ErrBadWAL, payloadLen)
+		}
+		frame := make([]byte, payloadLen+4)
+		if _, err := io.ReadFull(cr, frame); err != nil {
+			break // torn payload or CRC
+		}
+		payload, sum := frame[:payloadLen], binary.BigEndian.Uint32(frame[payloadLen:])
+		if crc32.ChecksumIEEE(payload) != sum {
+			break // torn write caught by the checksum
+		}
+		rec, err := decodeWALPayload(payload)
+		if err != nil {
+			// The frame and CRC are intact, so this is not a torn
+			// write: only tolerate it at the very end of the file.
+			if cr.n == fileSize(f) {
+				break
+			}
+			return maxSeq, fmt.Errorf("%w: undecodable record at offset %d: %v", ErrBadWAL, goodEnd, err)
+		}
+		goodEnd = cr.n
+		if rec.seq > afterSeq {
+			apply(rec)
+		}
+		if rec.seq > maxSeq {
+			maxSeq = rec.seq
+		}
+	}
+	// Torn tail: drop everything past the last intact record.
+	return maxSeq, os.Truncate(path, goodEnd)
+}
+
+// rewriteWALHeader resets a log too short to hold its magic.
+func rewriteWALHeader(path string) error {
+	w, err := createWAL(path)
+	if err != nil {
+		return err
+	}
+	return w.close()
+}
+
+func fileSize(f *os.File) int64 {
+	fi, err := f.Stat()
+	if err != nil {
+		return -1
+	}
+	return fi.Size()
+}
+
+// countingReader counts consumed bytes so recovery knows where the
+// last intact record ended.
+type countingReader struct {
+	r *bufio.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *countingReader) ReadByte() (byte, error) {
+	b, err := c.r.ReadByte()
+	if err == nil {
+		c.n++
+	}
+	return b, err
+}
