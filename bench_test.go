@@ -10,10 +10,12 @@ package zerberr_test
 
 import (
 	"fmt"
+	"net/http/httptest"
 	"sync"
 	"testing"
 
 	zerberr "zerberr"
+	"zerberr/internal/client"
 	"zerberr/internal/corpus"
 	"zerberr/internal/crypt"
 	"zerberr/internal/experiments"
@@ -216,6 +218,65 @@ func BenchmarkIndexDocument(b *testing.B) {
 		if err := cl.IndexDocument(d, d.Group); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSearchSerialVsBatched measures the round-trip savings of
+// the batched v2 protocol on multi-term queries, in process and over
+// a real HTTP loopback (zerber-bench -batched drives the experiment
+// harness down the same batched path).
+func BenchmarkSearchSerialVsBatched(b *testing.B) {
+	sys, err := getBenchSystem()
+	if err != nil {
+		b.Fatal(err)
+	}
+	local, err := sys.NewClient("bench-searcher")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(sys.Server.Handler())
+	defer ts.Close()
+	remote, err := client.New(client.HTTP{BaseURL: ts.URL}, client.Config{
+		Plan:  sys.Plan,
+		Store: sys.Store,
+		Codec: sys.Config().Codec,
+		Keys:  sys.Keys,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := remote.Login("bench-searcher"); err != nil {
+		b.Fatal(err)
+	}
+	terms := sys.Corpus.TermsByDF()
+	queries := [][]corpus.TermID{
+		{terms[0], terms[20], terms[200]},
+		{terms[5], terms[50], terms[300], terms[len(terms)/2]},
+	}
+	paths := []struct {
+		name   string
+		search func([]corpus.TermID, int) ([]rank.Result, client.QueryStats, error)
+	}{
+		{"inproc/serial", local.SearchSerial},
+		{"inproc/batched", local.Search},
+		{"http/serial", remote.SearchSerial},
+		{"http/batched", remote.Search},
+	}
+	for _, p := range paths {
+		b.Run(p.name, func(b *testing.B) {
+			rounds, requests := 0, 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, st, err := p.search(queries[i%len(queries)], 10)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds += st.Rounds
+				requests += st.Requests
+			}
+			b.ReportMetric(float64(rounds)/float64(b.N), "round-trips/query")
+			b.ReportMetric(float64(requests)/float64(b.N), "list-requests/query")
+		})
 	}
 }
 

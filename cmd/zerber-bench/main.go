@@ -32,8 +32,9 @@ func main() {
 		run    = flag.String("run", "all", "experiment ID to run, or 'all'")
 		scale  = flag.Float64("scale", 1, "corpus scale factor (1 = laptop default)")
 		seed   = flag.Uint64("seed", 1, "deterministic seed")
-		csvDir = flag.String("csv", "", "also write per-experiment CSV files into this directory")
-		quiet  = flag.Bool("q", false, "suppress progress logging")
+		csvDir  = flag.String("csv", "", "also write per-experiment CSV files into this directory")
+		quiet   = flag.Bool("q", false, "suppress progress logging")
+		batched = flag.Bool("batched", false, "drive search-timing loops over the batched v2 protocol (the bandwidth experiment always reports serial-vs-batched round-trips)")
 	)
 	flag.Parse()
 
@@ -45,6 +46,7 @@ func main() {
 	}
 
 	env := experiments.NewEnv(*scale, *seed)
+	env.Batched = *batched
 	if !*quiet {
 		env.Logf = func(format string, args ...interface{}) {
 			log.Printf(format, args...)

@@ -5,9 +5,15 @@
 //
 // Usage:
 //
-//	zerber init  -docs ./corpus -out ./artifacts -r 32 [-pass phrase]
-//	zerber index -docs ./corpus -artifacts ./artifacts -server http://host:8021 -user john -pass phrase
-//	zerber query -artifacts ./artifacts -server http://host:8021 -user john -pass phrase -k 10 term
+//	zerber init   -docs ./corpus -out ./artifacts -r 32 [-pass phrase]
+//	zerber index  -docs ./corpus -artifacts ./artifacts -server http://host:8021 -user john -pass phrase
+//	zerber query  -artifacts ./artifacts -server http://host:8021 -user john -pass phrase -k 10 term
+//	zerber status -server http://host:8021
+//
+// index uploads each document's posting elements as one batched
+// /v2/insert; query drives all terms' follow-up loops over batched
+// /v2/query round-trips (-serial falls back to the one-request-per-
+// list v1 protocol); status prints the server's /v2/stats view.
 //
 // Documents are .txt files; the immediate subdirectory of -docs names
 // the collaboration group (docs/<group>/<file>.txt; files directly in
@@ -45,13 +51,15 @@ func main() {
 		cmdIndex(os.Args[2:])
 	case "query":
 		cmdQuery(os.Args[2:])
+	case "status":
+		cmdStatus(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: zerber {init|index|query} [flags]   (run a subcommand with -h for details)")
+	fmt.Fprintln(os.Stderr, "usage: zerber {init|index|query|status} [flags]   (run a subcommand with -h for details)")
 	os.Exit(2)
 }
 
@@ -255,6 +263,7 @@ func cmdQuery(args []string) {
 	pass := fs.String("pass", "", "group key passphrase (required)")
 	groups := fs.Int("groups", 16, "number of group keys to derive")
 	k := fs.Int("k", 10, "number of results")
+	serial := fs.Bool("serial", false, "use the serial v1 protocol (one round-trip per list request)")
 	_ = fs.Parse(args)
 	terms := fs.Args()
 	if *user == "" || *pass == "" || len(terms) == 0 {
@@ -274,7 +283,11 @@ func cmdQuery(args []string) {
 	if len(ids) == 0 {
 		log.Fatal("no known query terms")
 	}
-	results, stats, err := cl.Search(ids, *k)
+	search := cl.Search
+	if *serial {
+		search = cl.SearchSerial
+	}
+	results, stats, err := search(ids, *k)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -282,6 +295,22 @@ func cmdQuery(args []string) {
 	for rank, r := range results {
 		fmt.Printf("%2d. doc %-8d score %.6f\n", rank+1, r.Doc, r.Score)
 	}
-	fmt.Printf("(%d requests, %d posting elements, %d bytes over the wire)\n",
-		stats.Requests, stats.Elements, stats.Bytes)
+	fmt.Printf("(%d round-trips carrying %d list requests, %d posting elements, %d bytes over the wire)\n",
+		stats.Rounds, stats.Requests, stats.Elements, stats.Bytes)
+}
+
+func cmdStatus(args []string) {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	serverURL := fs.String("server", "http://localhost:8021", "index server URL")
+	_ = fs.Parse(args)
+	st, err := client.HTTP{BaseURL: *serverURL}.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("backend: %s\n", st.Backend)
+	fmt.Printf("lists:   %d\n", st.Lists)
+	fmt.Printf("elements: %d\n", st.Elements)
+	for _, ls := range st.PerList {
+		fmt.Printf("  list %-6d %d elements\n", ls.List, ls.Elements)
+	}
 }

@@ -114,7 +114,7 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("index server listening on %s", *addr)
+		log.Printf("index server listening on %s (protocols v1 + batched v2, %s backend)", *addr, srv.BackendName())
 		errCh <- httpSrv.ListenAndServe()
 	}()
 

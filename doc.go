@@ -12,14 +12,21 @@
 //     lists whose elements carry an encrypted payload plus a plaintext
 //     transformed relevance score (TRS); ranks by TRS; enforces group
 //     ACLs; serves ranked ranges for the progressive top-k protocol.
+//     Two wire protocols: serial v1 (one operation per round-trip,
+//     kept for compatibility) and batched v2 (multi-list queries,
+//     bulk insert/remove, structured {code, error} envelopes), which
+//     lets a multi-term search finish in one round-trip per follow-up
+//     round instead of one per list request.
 //   - Storage engines (internal/store): the pluggable backends beneath
 //     the server — a RAM-only map and a durable engine with a
 //     CRC-framed write-ahead log, atomic snapshots and crash recovery,
 //     so a restarted server (cmd/zerberd -data-dir) keeps its index.
 //   - Trusted clients (internal/client): index documents (seal
-//     elements under group keys, compute TRS via the published RSTF)
-//     and execute queries (decrypt, filter, follow-up requests with
-//     doubling response sizes).
+//     elements under group keys, compute TRS via the published RSTF,
+//     upload them as one batched insert) and execute queries
+//     (decrypt, filter, follow-up requests with doubling response
+//     sizes — all terms' follow-up loops driven as one state machine
+//     over the batched transport).
 //   - Offline initialization (this package's Setup): trains the
 //     relevance score transformation functions on a sample corpus
 //     (internal/rstf), builds the r-confidential merge plan

@@ -3,6 +3,14 @@
 // them with the published RSTF, sealing posting elements under group
 // keys) and executes top-k queries with the progressive follow-up
 // protocol, decrypting and filtering responses locally.
+//
+// Queries run over either protocol generation of the Transport: the
+// serial v1 path issues one round-trip per list per follow-up round,
+// while Search drives every term's follow-up loop as one state
+// machine over the batched v2 path, so a multi-term query costs
+// O(max follow-up rounds) round-trips instead of O(Σ per-term
+// requests). Both paths share the same per-term stopping logic
+// (termScan) and therefore return identical results.
 package client
 
 import (
@@ -46,15 +54,34 @@ type Config struct {
 // QueryStats accounts for the cost of one query, the quantities
 // Figures 11-13 are computed from.
 type QueryStats struct {
-	// Requests is the number of round trips (1 = no follow-ups).
+	// Requests is the number of per-list fetches (1 = no follow-ups).
 	Requests int
+	// Rounds is the number of round-trips to the server. On the
+	// serial v1 path it equals Requests; on the batched v2 path one
+	// round covers every still-open list, so Rounds is the maximum
+	// follow-up depth across terms rather than the request sum.
+	Rounds int
 	// Elements is the total number of posting elements returned
 	// (TRes of Equation 12 unless the list was exhausted earlier).
 	Elements int
-	// Bytes is Elements times the codec wire size.
+	// Bytes is the response cost. Transports that actually serialize
+	// report their measured wire size (the HTTP transport counts the
+	// encoded JSON response bodies); in process nothing crosses a
+	// wire, so Bytes falls back to Elements times the codec wire
+	// size — the paper's Section 6.6 accounting. The measured figure
+	// includes JSON framing and is therefore larger than the
+	// estimate.
 	Bytes int
 	// Exhausted reports that the server ran out of visible elements.
 	Exhausted bool
+}
+
+// add folds the cost of a sub-query's stats into the total.
+func (s *QueryStats) add(o QueryStats) {
+	s.Requests += o.Requests
+	s.Rounds += o.Rounds
+	s.Elements += o.Elements
+	s.Bytes += o.Bytes
 }
 
 // Client is a Zerber+R user agent. It is not safe for concurrent use.
@@ -121,9 +148,13 @@ func (c *Client) ListFor(term corpus.TermID) zerber.ListID {
 	return zerber.ListID(h.Sum32() % uint32(c.cfg.Plan.NumLists()))
 }
 
-// IndexDocument builds, transforms, seals and uploads the posting
-// elements of one document on behalf of the given group (the online
-// insertion phase of Section 5).
+// IndexDocument builds, transforms and seals the posting elements of
+// one document on behalf of the given group (the online insertion
+// phase of Section 5), then uploads them as a batched insert — one
+// round-trip per document instead of one per posting element. The
+// server validates each batch as a unit, so for documents within the
+// batch cap (all but those with >server.MaxBatchOps distinct terms) a
+// rejected element means nothing of the document was indexed.
 func (c *Client) IndexDocument(d *corpus.Document, group int) error {
 	if c.tokens == nil {
 		return ErrNotLoggedIn
@@ -136,19 +167,51 @@ func (c *Client) IndexDocument(d *corpus.Document, group int) error {
 	if d.Length == 0 {
 		return nil
 	}
-	for term, tf := range d.TF {
-		score := rank.NormTF(tf, d.Length)
+	terms := make([]corpus.TermID, 0, len(d.TF))
+	for term := range d.TF {
+		terms = append(terms, term)
+	}
+	sort.Slice(terms, func(i, j int) bool { return terms[i] < terms[j] })
+	ops := make([]server.InsertOp, 0, len(terms))
+	for _, term := range terms {
+		score := rank.NormTF(d.TF[term], d.Length)
 		trs := c.cfg.Store.TRS(term, d.ID, score)
 		sealed, err := c.cfg.Codec.Seal(crypt.Element{Doc: d.ID, Term: term, Score: score}, key)
 		if err != nil {
 			return fmt.Errorf("client: sealing element for term %d: %w", term, err)
 		}
 		el := server.StoredElement{Sealed: sealed, TRS: trs, Group: group}
-		if err := c.t.Insert(tok, c.ListFor(term), el); err != nil {
-			return fmt.Errorf("client: inserting element for term %d: %w", term, err)
+		ops = append(ops, server.InsertOp{List: c.ListFor(term), Element: el})
+	}
+	// One round-trip per document in practice; documents with more
+	// terms than the server's batch cap are split.
+	for start := 0; start < len(ops); start += server.MaxBatchOps {
+		end := min(start+server.MaxBatchOps, len(ops))
+		if err := c.t.InsertBatch(tok, ops[start:end]); err != nil {
+			return fmt.Errorf("client: inserting elements %d-%d of %d: %w", start, end-1, len(ops), err)
 		}
 	}
 	return nil
+}
+
+// queryBatchChunked issues one round's sub-queries, splitting at the
+// server's batch cap (each chunk is its own round-trip). Returns the
+// responses in query order, the measured wire bytes (0 in process)
+// and the number of round-trips taken.
+func (c *Client) queryBatchChunked(queries []server.ListQuery) ([]server.QueryResponse, int, int, error) {
+	resps := make([]server.QueryResponse, 0, len(queries))
+	wireBytes, rounds := 0, 0
+	for start := 0; start < len(queries); start += server.MaxBatchOps {
+		end := min(start+server.MaxBatchOps, len(queries))
+		res, err := c.t.QueryBatch(c.tokens, queries[start:end])
+		if err != nil {
+			return nil, wireBytes, rounds, err
+		}
+		rounds++
+		wireBytes += res.WireBytes
+		resps = append(resps, res.Responses...)
+	}
+	return resps, wireBytes, rounds, nil
 }
 
 // TopK answers a single-term top-k query with the default initial
@@ -157,10 +220,11 @@ func (c *Client) TopK(term corpus.TermID, k int) ([]rank.Result, QueryStats, err
 	return c.TopKWithInitial(term, k, c.cfg.InitialResponse)
 }
 
-// TopKWithInitial runs the Section 5.2 protocol: fetch b elements,
-// decrypt, keep those of the queried term; while the top-k is not yet
-// certain and the list is not exhausted, issue follow-up requests of
-// doubling size (b, 2b, 4b, … — Equation 12).
+// TopKWithInitial runs the Section 5.2 protocol over the serial v1
+// path: fetch b elements, decrypt, keep those of the queried term;
+// while the top-k is not yet certain and the list is not exhausted,
+// issue follow-up requests of doubling size (b, 2b, 4b, … —
+// Equation 12).
 //
 // The RSTF is monotone but not strictly so: distinct scores can share
 // a TRS (saturation at the range ends, quantization, optional jitter),
@@ -180,69 +244,121 @@ func (c *Client) TopKWithInitial(term corpus.TermID, k, b int) ([]rank.Result, Q
 	if b <= 0 {
 		b = c.cfg.InitialResponse
 	}
-	margin := c.cfg.Store.Jitter()
-	list := c.ListFor(term)
-	var matches []match
-	finish := func() []rank.Result {
-		sort.Slice(matches, func(i, j int) bool {
-			if matches[i].res.Score != matches[j].res.Score {
-				return matches[i].res.Score > matches[j].res.Score
-			}
-			return matches[i].res.Doc < matches[j].res.Doc
-		})
-		if len(matches) > k {
-			matches = matches[:k]
-		}
-		out := make([]rank.Result, len(matches))
-		for i, m := range matches {
-			out[i] = m.res
-		}
-		return out
-	}
-	offset := 0
-	batch := b
-	for {
-		resp, err := c.t.Query(c.tokens, list, offset, batch)
+	scan := c.newTermScan(term, k, b)
+	for !scan.done {
+		resp, err := c.t.Query(c.tokens, scan.list, scan.offset, scan.batch)
 		if err != nil {
 			return nil, stats, err
 		}
 		stats.Requests++
+		stats.Rounds++
 		stats.Elements += len(resp.Elements)
 		stats.Bytes += len(resp.Elements) * c.cfg.Codec.WireSize()
-		lastTRS := math.Inf(-1)
-		for _, el := range resp.Elements {
-			plain, err := c.openElement(el)
-			if err != nil {
-				return nil, stats, err
-			}
-			lastTRS = el.TRS
-			if plain.Term != term {
-				continue
-			}
-			matches = append(matches, match{res: rank.Result{Doc: plain.Doc, Score: plain.Score}, trs: el.TRS})
+		if err := scan.absorb(resp, c.openElement); err != nil {
+			return nil, stats, err
 		}
-		if resp.Exhausted {
-			stats.Exhausted = true
-			return finish(), stats, nil
-		}
-		if len(matches) >= k {
-			// TRS of the k-th best match by score: monotonicity means
-			// any unseen element beating it must carry a TRS at least
-			// that high (minus jitter), and the list is TRS-sorted.
-			kth := kthBestTRS(matches, k)
-			if lastTRS < kth-margin {
-				return finish(), stats, nil
-			}
-			// Boundary tie (kth == lastTRS up to the margin): an unseen
-			// element could only win on a TRS plateau. Without strict
-			// mode, stop unless a plateau is in evidence.
-			if !c.cfg.StrictTopK && margin == 0 && !plateauRisk(matches, kth) {
-				return finish(), stats, nil
-			}
-		}
-		offset += len(resp.Elements)
-		batch *= 2 // progressive response growth (Section 5.2)
 	}
+	stats.Exhausted = scan.exhausted
+	return scan.results(), stats, nil
+}
+
+// termScan is the per-term state of the progressive protocol: the
+// cursor into one merged list, the doubling schedule, the matches
+// collected so far and the stopping rule. Both the serial and the
+// batched query paths drive their rounds through it, so the two paths
+// cannot diverge in what they return.
+type termScan struct {
+	term   corpus.TermID
+	list   zerber.ListID
+	k      int
+	margin float64
+	strict bool
+
+	offset int
+	batch  int
+
+	matches   []match
+	done      bool
+	exhausted bool
+}
+
+func (c *Client) newTermScan(term corpus.TermID, k, b int) *termScan {
+	return &termScan{
+		term:   term,
+		list:   c.ListFor(term),
+		k:      k,
+		margin: c.cfg.Store.Jitter(),
+		strict: c.cfg.StrictTopK,
+		batch:  b,
+	}
+}
+
+// next is the sub-query covering this scan's coming round.
+func (s *termScan) next() server.ListQuery {
+	return server.ListQuery{List: s.list, Offset: s.offset, Count: s.batch}
+}
+
+// absorb folds one response into the scan and applies the stopping
+// rule: collected top-k certain, or list exhausted, or keep going with
+// a doubled batch.
+func (s *termScan) absorb(resp server.QueryResponse, open func(server.StoredElement) (crypt.Element, error)) error {
+	lastTRS := math.Inf(-1)
+	for _, el := range resp.Elements {
+		plain, err := open(el)
+		if err != nil {
+			return err
+		}
+		lastTRS = el.TRS
+		if plain.Term != s.term {
+			continue
+		}
+		s.matches = append(s.matches, match{res: rank.Result{Doc: plain.Doc, Score: plain.Score}, trs: el.TRS})
+	}
+	if resp.Exhausted {
+		s.exhausted = true
+		s.done = true
+		return nil
+	}
+	if len(s.matches) >= s.k {
+		// TRS of the k-th best match by score: monotonicity means
+		// any unseen element beating it must carry a TRS at least
+		// that high (minus jitter), and the list is TRS-sorted.
+		kth := kthBestTRS(s.matches, s.k)
+		if lastTRS < kth-s.margin {
+			s.done = true
+			return nil
+		}
+		// Boundary tie (kth == lastTRS up to the margin): an unseen
+		// element could only win on a TRS plateau. Without strict
+		// mode, stop unless a plateau is in evidence.
+		if !s.strict && s.margin == 0 && !plateauRisk(s.matches, kth) {
+			s.done = true
+			return nil
+		}
+	}
+	s.offset += len(resp.Elements)
+	s.batch *= 2 // progressive response growth (Section 5.2)
+	return nil
+}
+
+// results ranks the collected matches by their decrypted scores and
+// cuts to k.
+func (s *termScan) results() []rank.Result {
+	sort.Slice(s.matches, func(i, j int) bool {
+		if s.matches[i].res.Score != s.matches[j].res.Score {
+			return s.matches[i].res.Score > s.matches[j].res.Score
+		}
+		return s.matches[i].res.Doc < s.matches[j].res.Doc
+	})
+	matches := s.matches
+	if len(matches) > s.k {
+		matches = matches[:s.k]
+	}
+	out := make([]rank.Result, len(matches))
+	for i, m := range matches {
+		out[i] = m.res
+	}
+	return out
 }
 
 // match pairs a decrypted result with the server-visible TRS it was
@@ -296,19 +412,81 @@ func (c *Client) openElement(el server.StoredElement) (crypt.Element, error) {
 	return plain, nil
 }
 
-// Search answers a multi-term query as a sequence of single-term
-// top-k queries whose scores are summed per document (Section 3.2:
-// IDF-free scoring, a deliberate confidentiality/accuracy trade-off).
-// Stats are accumulated across the per-term queries.
+// Search answers a multi-term query (Section 3.2: per-term top-k
+// scores summed per document — IDF-free scoring, a deliberate
+// confidentiality/accuracy trade-off) by driving all terms' follow-up
+// loops as one state machine over the batched v2 transport. Each
+// round issues a single QueryBatch covering every still-open list, so
+// a T-term query costs max(per-term rounds) round-trips, not
+// Σ per-term requests. Results are identical to SearchSerial.
 func (c *Client) Search(terms []corpus.TermID, k int) ([]rank.Result, QueryStats, error) {
+	var total QueryStats
+	if c.tokens == nil {
+		return nil, total, ErrNotLoggedIn
+	}
+	if k <= 0 {
+		return nil, total, fmt.Errorf("client: k must be positive, got %d", k)
+	}
+	scans := make([]*termScan, len(terms))
+	for i, term := range terms {
+		scans[i] = c.newTermScan(term, k, c.cfg.InitialResponse)
+	}
+	for {
+		var queries []server.ListQuery
+		var open []int
+		for i, s := range scans {
+			if !s.done {
+				queries = append(queries, s.next())
+				open = append(open, i)
+			}
+		}
+		if len(queries) == 0 {
+			break
+		}
+		resps, wireBytes, rounds, err := c.queryBatchChunked(queries)
+		if err != nil {
+			return nil, total, err
+		}
+		total.Rounds += rounds
+		total.Requests += len(queries)
+		roundElems := 0
+		for j, resp := range resps {
+			roundElems += len(resp.Elements)
+			if err := scans[open[j]].absorb(resp, c.openElement); err != nil {
+				return nil, total, err
+			}
+		}
+		total.Elements += roundElems
+		if wireBytes > 0 {
+			total.Bytes += wireBytes
+		} else {
+			total.Bytes += roundElems * c.cfg.Codec.WireSize()
+		}
+	}
+	acc := make(map[corpus.DocID]float64)
+	exhaustedAll := true
+	for _, s := range scans {
+		if !s.exhausted {
+			exhaustedAll = false
+		}
+		rank.Accumulate(acc, s.results())
+	}
+	total.Exhausted = exhaustedAll
+	return rank.TopK(acc, k), total, nil
+}
+
+// SearchSerial answers the same multi-term query as Search over the
+// serial v1 path: one single-term protocol run per term, each
+// follow-up on its own round-trip. Kept as the compatibility path and
+// as the baseline the round-trip savings of Search are measured
+// against (cmd/zerber-bench -batched).
+func (c *Client) SearchSerial(terms []corpus.TermID, k int) ([]rank.Result, QueryStats, error) {
 	var total QueryStats
 	acc := make(map[corpus.DocID]float64)
 	exhaustedAll := true
 	for _, term := range terms {
 		res, st, err := c.TopK(term, k)
-		total.Requests += st.Requests
-		total.Elements += st.Elements
-		total.Bytes += st.Bytes
+		total.add(st)
 		if err != nil {
 			return nil, total, err
 		}
@@ -325,8 +503,11 @@ func (c *Client) Search(terms []corpus.TermID, k int) ([]rank.Result, QueryStats
 // the index (the other half of "unlimited index update and insert
 // operations", Section 7). Because sealed payloads may be randomized
 // (AES-GCM), the client locates its elements by downloading and
-// decrypting each affected merged list, then asks the server to drop
-// the matching ciphertexts. Returns the number of elements removed.
+// decrypting each affected merged list — all lists scanned in batched
+// rounds — then removes the matching ciphertexts with one batched
+// remove (split only past the server's batch cap). Returns the number
+// of elements removed; the server validates each batch as a unit, so
+// a typical document is removed all-or-nothing.
 func (c *Client) DeleteDocument(d *corpus.Document, group int) (int, error) {
 	if c.tokens == nil {
 		return 0, ErrNotLoggedIn
@@ -336,49 +517,77 @@ func (c *Client) DeleteDocument(d *corpus.Document, group int) (int, error) {
 		return 0, fmt.Errorf("%w: group %d", ErrNoGroupKey, group)
 	}
 	// Group terms by merged list so each list is scanned once.
-	byList := make(map[zerber.ListID][]corpus.TermID)
+	byList := make(map[zerber.ListID]map[corpus.TermID]bool)
 	for term := range d.TF {
 		l := c.ListFor(term)
-		byList[l] = append(byList[l], term)
-	}
-	removed := 0
-	for list, terms := range byList {
-		want := make(map[corpus.TermID]bool, len(terms))
-		for _, t := range terms {
-			want[t] = true
+		if byList[l] == nil {
+			byList[l] = make(map[corpus.TermID]bool)
 		}
-		// Scan first, remove afterwards: removing while paginating
-		// would shift offsets and skip elements.
-		var victims [][]byte
-		offset := 0
-		for {
-			resp, err := c.t.Query(c.tokens, list, offset, 4096)
-			if err != nil {
-				return removed, err
+		byList[l][term] = true
+	}
+	// Scan first, remove afterwards: removing while paginating would
+	// shift offsets and skip elements. One cursor per affected list,
+	// advanced together in batched rounds.
+	type cursor struct {
+		list   zerber.ListID
+		offset int
+		done   bool
+	}
+	cursors := make([]*cursor, 0, len(byList))
+	for list := range byList {
+		cursors = append(cursors, &cursor{list: list})
+	}
+	sort.Slice(cursors, func(i, j int) bool { return cursors[i].list < cursors[j].list })
+	const scanBatch = 4096
+	var victims []server.RemoveOp
+	for {
+		var queries []server.ListQuery
+		var open []*cursor
+		for _, cur := range cursors {
+			if !cur.done {
+				queries = append(queries, server.ListQuery{List: cur.list, Offset: cur.offset, Count: scanBatch})
+				open = append(open, cur)
 			}
+		}
+		if len(queries) == 0 {
+			break
+		}
+		resps, _, _, err := c.queryBatchChunked(queries)
+		if err != nil {
+			return 0, err
+		}
+		for j, resp := range resps {
+			cur := open[j]
+			want := byList[cur.list]
 			for _, el := range resp.Elements {
 				if el.Group != group {
 					continue
 				}
 				plain, err := c.openElement(el)
 				if err != nil {
-					return removed, err
+					return 0, err
 				}
 				if plain.Doc == d.ID && want[plain.Term] {
-					victims = append(victims, el.Sealed)
+					victims = append(victims, server.RemoveOp{List: cur.list, Sealed: el.Sealed})
 				}
 			}
 			if resp.Exhausted {
-				break
+				cur.done = true
+			} else {
+				cur.offset += len(resp.Elements)
 			}
-			offset += len(resp.Elements)
 		}
-		for _, sealed := range victims {
-			if err := c.t.Remove(tok, list, sealed); err != nil {
-				return removed, err
-			}
-			removed++
+	}
+	if len(victims) == 0 {
+		return 0, nil
+	}
+	removed := 0
+	for start := 0; start < len(victims); start += server.MaxBatchOps {
+		end := min(start+server.MaxBatchOps, len(victims))
+		if err := c.t.RemoveBatch(tok, victims[start:end]); err != nil {
+			return removed, err
 		}
+		removed += end - start
 	}
 	return removed, nil
 }

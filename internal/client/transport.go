@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 
 	"zerberr/internal/crypt"
@@ -13,11 +14,30 @@ import (
 
 // Transport abstracts how the client reaches the index server: in
 // process (experiments, tests) or over HTTP (outsourced deployment).
+//
+// The single-operation methods are the v1 protocol, one round-trip
+// per operation. The batch methods are the v2 protocol: one exchange
+// covers many lists or many elements, which is what makes multi-term
+// search O(rounds) instead of O(requests) over the network.
 type Transport interface {
 	Login(user string) ([]crypt.Token, error)
 	Insert(tok crypt.Token, list zerber.ListID, el server.StoredElement) error
 	Query(toks []crypt.Token, list zerber.ListID, offset, count int) (server.QueryResponse, error)
 	Remove(tok crypt.Token, list zerber.ListID, sealed []byte) error
+	QueryBatch(toks []crypt.Token, queries []server.ListQuery) (BatchQueryResult, error)
+	InsertBatch(tok crypt.Token, ops []server.InsertOp) error
+	RemoveBatch(tok crypt.Token, ops []server.RemoveOp) error
+}
+
+// BatchQueryResult is one batched round-trip's worth of responses,
+// ordered like the sub-queries that produced them.
+type BatchQueryResult struct {
+	Responses []server.QueryResponse
+	// WireBytes is the measured size of the encoded response body on
+	// transports that serialize (HTTP measures the actual JSON
+	// bytes); 0 in process, where nothing crosses a wire and callers
+	// fall back to the codec's per-element estimate.
+	WireBytes int
 }
 
 // Local is the in-process transport.
@@ -43,6 +63,22 @@ func (l Local) Remove(tok crypt.Token, list zerber.ListID, sealed []byte) error 
 	return l.S.Remove(tok, list, sealed)
 }
 
+// QueryBatch implements Transport.
+func (l Local) QueryBatch(toks []crypt.Token, queries []server.ListQuery) (BatchQueryResult, error) {
+	resps, err := l.S.QueryBatch(toks, queries)
+	return BatchQueryResult{Responses: resps}, err
+}
+
+// InsertBatch implements Transport.
+func (l Local) InsertBatch(tok crypt.Token, ops []server.InsertOp) error {
+	return l.S.InsertBatch(tok, ops)
+}
+
+// RemoveBatch implements Transport.
+func (l Local) RemoveBatch(tok crypt.Token, ops []server.RemoveOp) error {
+	return l.S.RemoveBatch(tok, ops)
+}
+
 // HTTP talks to a zerberd index server over its JSON API.
 type HTTP struct {
 	// BaseURL is the server root, e.g. "http://host:8021".
@@ -59,37 +95,58 @@ func (h HTTP) httpClient() *http.Client {
 }
 
 // postJSON posts a request body and decodes the response into out,
-// translating error envelopes into errors.
-func (h HTTP) postJSON(path string, in, out interface{}) error {
+// translating error envelopes into errors. It returns the size of the
+// response body in bytes (the actual wire cost of the answer).
+func (h HTTP) postJSON(path string, in, out interface{}) (int, error) {
 	body, err := json.Marshal(in)
 	if err != nil {
-		return fmt.Errorf("client: encoding request: %w", err)
+		return 0, fmt.Errorf("client: encoding request: %w", err)
 	}
 	resp, err := h.httpClient().Post(h.BaseURL+path, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return fmt.Errorf("client: %s: %w", path, err)
+		return 0, fmt.Errorf("client: %s: %w", path, err)
 	}
 	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, fmt.Errorf("client: %s: reading response: %w", path, err)
+	}
 	if resp.StatusCode != http.StatusOK {
-		var eb struct {
-			Error string `json:"error"`
-		}
-		_ = json.NewDecoder(resp.Body).Decode(&eb)
-		return fmt.Errorf("client: %s: server status %d: %s", path, resp.StatusCode, eb.Error)
+		return len(raw), h.decodeError(path, resp.StatusCode, raw)
 	}
 	if out == nil {
-		return nil
+		return len(raw), nil
 	}
-	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("client: %s: decoding response: %w", path, err)
+	if err := json.Unmarshal(raw, out); err != nil {
+		return len(raw), fmt.Errorf("client: %s: decoding response: %w", path, err)
 	}
-	return nil
+	return len(raw), nil
+}
+
+// decodeError turns a non-200 response into an error. v2 endpoints
+// answer with a structured {code, error, index} envelope whose code is
+// mapped back onto the server sentinel errors, so errors.Is behaves
+// identically over HTTP and in process; v1 endpoints carry only the
+// message.
+func (h HTTP) decodeError(path string, status int, raw []byte) error {
+	var env server.ErrorV2
+	if err := json.Unmarshal(raw, &env); err != nil || env.Error == "" {
+		return fmt.Errorf("client: %s: server status %d: %s", path, status, raw)
+	}
+	if sentinel := server.SentinelForCode(env.Code); sentinel != nil {
+		err := fmt.Errorf("%w (remote: %s)", sentinel, env.Error)
+		if env.Index != nil {
+			return &server.BatchError{Index: *env.Index, Err: err}
+		}
+		return err
+	}
+	return fmt.Errorf("client: %s: server status %d: %s", path, status, env.Error)
 }
 
 // Login implements Transport.
 func (h HTTP) Login(user string) ([]crypt.Token, error) {
 	var out server.LoginResponse
-	if err := h.postJSON("/v1/login", server.LoginRequest{User: user}, &out); err != nil {
+	if _, err := h.postJSON("/v1/login", server.LoginRequest{User: user}, &out); err != nil {
 		return nil, err
 	}
 	return out.Tokens, nil
@@ -97,17 +154,71 @@ func (h HTTP) Login(user string) ([]crypt.Token, error) {
 
 // Insert implements Transport.
 func (h HTTP) Insert(tok crypt.Token, list zerber.ListID, el server.StoredElement) error {
-	return h.postJSON("/v1/insert", server.InsertRequest{Token: tok, List: list, Element: el}, nil)
+	_, err := h.postJSON("/v1/insert", server.InsertRequest{Token: tok, List: list, Element: el}, nil)
+	return err
 }
 
 // Query implements Transport.
 func (h HTTP) Query(toks []crypt.Token, list zerber.ListID, offset, count int) (server.QueryResponse, error) {
 	var out server.QueryResponse
-	err := h.postJSON("/v1/query", server.QueryRequest{Tokens: toks, List: list, Offset: offset, Count: count}, &out)
+	_, err := h.postJSON("/v1/query", server.QueryRequest{Tokens: toks, List: list, Offset: offset, Count: count}, &out)
 	return out, err
 }
 
 // Remove implements Transport.
 func (h HTTP) Remove(tok crypt.Token, list zerber.ListID, sealed []byte) error {
-	return h.postJSON("/v1/remove", server.RemoveRequest{Token: tok, List: list, Sealed: sealed}, nil)
+	_, err := h.postJSON("/v1/remove", server.RemoveRequest{Token: tok, List: list, Sealed: sealed}, nil)
+	return err
 }
+
+// QueryBatch implements Transport over POST /v2/query. WireBytes is
+// the measured response body size.
+func (h HTTP) QueryBatch(toks []crypt.Token, queries []server.ListQuery) (BatchQueryResult, error) {
+	var out server.QueryBatchResponse
+	n, err := h.postJSON("/v2/query", server.QueryBatchRequest{Tokens: toks, Queries: queries}, &out)
+	if err != nil {
+		return BatchQueryResult{}, err
+	}
+	if len(out.Responses) != len(queries) {
+		return BatchQueryResult{}, fmt.Errorf("client: /v2/query: %d responses for %d queries", len(out.Responses), len(queries))
+	}
+	return BatchQueryResult{Responses: out.Responses, WireBytes: n}, nil
+}
+
+// InsertBatch implements Transport over POST /v2/insert.
+func (h HTTP) InsertBatch(tok crypt.Token, ops []server.InsertOp) error {
+	_, err := h.postJSON("/v2/insert", server.InsertBatchRequest{Token: tok, Ops: ops}, nil)
+	return err
+}
+
+// RemoveBatch implements Transport over POST /v2/remove.
+func (h HTTP) RemoveBatch(tok crypt.Token, ops []server.RemoveOp) error {
+	_, err := h.postJSON("/v2/remove", server.RemoveBatchRequest{Token: tok, Ops: ops}, nil)
+	return err
+}
+
+// Stats fetches GET /v2/stats: totals, per-list element counts and
+// the storage backend name. It is not part of Transport — it is an
+// administrative call, not a protocol operation.
+func (h HTTP) Stats() (server.StatsV2Response, error) {
+	var out server.StatsV2Response
+	resp, err := h.httpClient().Get(h.BaseURL + "/v2/stats")
+	if err != nil {
+		return out, fmt.Errorf("client: /v2/stats: %w", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return out, fmt.Errorf("client: /v2/stats: reading response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return out, h.decodeError("/v2/stats", resp.StatusCode, raw)
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return out, fmt.Errorf("client: /v2/stats: decoding response: %w", err)
+	}
+	return out, nil
+}
+
+var _ Transport = Local{}
+var _ Transport = HTTP{}

@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"zerberr/internal/client"
+	"zerberr/internal/corpus"
+	"zerberr/internal/crypt"
+	"zerberr/internal/server"
+	"zerberr/internal/zerber"
+)
+
+// newBatchCluster builds a 3-shard cluster with one logged-in token
+// and one element per list 0..n-1, where element TRS encodes its list
+// (list i holds TRS = (i+1)/100).
+func newBatchCluster(t *testing.T, nLists int) (*Local, crypt.Token, []crypt.Token) {
+	t.Helper()
+	local, err := NewLocal(3, []byte("batch-secret"), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local.RegisterUser("w", 0)
+	toks, err := local.Router.Login("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := make([]server.InsertOp, nLists)
+	for i := 0; i < nLists; i++ {
+		ops[i] = server.InsertOp{
+			List:    zerber.ListID(i),
+			Element: server.StoredElement{Sealed: []byte{byte(i)}, TRS: float64(i+1) / 100, Group: 0},
+		}
+	}
+	if err := local.Router.InsertBatch(toks[0], ops); err != nil {
+		t.Fatal(err)
+	}
+	return local, toks[0], toks
+}
+
+func TestRouterQueryBatchSpansShardsInOrder(t *testing.T) {
+	const nLists = 9
+	local, _, toks := newBatchCluster(t, nLists)
+
+	// Every shard got its share of the batched insert.
+	for i, srv := range local.Servers {
+		if srv.NumElements() == 0 {
+			t.Fatalf("shard %d empty after batched insert", i)
+		}
+	}
+
+	// Query all lists in deliberately scrambled order; responses must
+	// come back in request order.
+	order := []int{7, 2, 5, 0, 8, 3, 6, 1, 4}
+	queries := make([]server.ListQuery, len(order))
+	for j, l := range order {
+		queries[j] = server.ListQuery{List: zerber.ListID(l), Offset: 0, Count: 10}
+	}
+	res, err := local.Router.QueryBatch(toks, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Responses) != len(order) {
+		t.Fatalf("%d responses for %d queries", len(res.Responses), len(order))
+	}
+	for j, l := range order {
+		resp := res.Responses[j]
+		want := float64(l+1) / 100
+		if len(resp.Elements) != 1 || !resp.Exhausted || resp.Elements[0].TRS != want {
+			t.Fatalf("position %d (list %d): %+v, want single element TRS %v", j, l, resp, want)
+		}
+	}
+}
+
+func TestRouterRemoveBatchSpansShards(t *testing.T) {
+	const nLists = 6
+	local, tok, _ := newBatchCluster(t, nLists)
+	ops := make([]server.RemoveOp, nLists)
+	for i := 0; i < nLists; i++ {
+		ops[i] = server.RemoveOp{List: zerber.ListID(i), Sealed: []byte{byte(i)}}
+	}
+	if err := local.Router.RemoveBatch(tok, ops); err != nil {
+		t.Fatal(err)
+	}
+	if n := local.NumElements(); n != 0 {
+		t.Fatalf("%d elements left after batched remove", n)
+	}
+}
+
+func TestRouterBatchErrorCarriesShardAndGlobalIndex(t *testing.T) {
+	local, tok, _ := newBatchCluster(t, 6)
+	// Op 0 and 2 are fine; op 1 (list 4 -> shard 1 of 3) targets a
+	// group the token does not cover. The surfaced error must name
+	// shard 1 and the caller's op index 1, and shard-atomicity means
+	// the failing shard applied nothing.
+	shard := local.Router.ShardFor(4)
+	before := local.Servers[shard].NumElements()
+	err := local.Router.InsertBatch(tok, []server.InsertOp{
+		{List: 3, Element: server.StoredElement{Sealed: []byte{100}, TRS: 0.5, Group: 0}},
+		{List: 4, Element: server.StoredElement{Sealed: []byte{101}, TRS: 0.5, Group: 99}},
+		{List: 5, Element: server.StoredElement{Sealed: []byte{102}, TRS: 0.5, Group: 0}},
+	})
+	if !errors.Is(err, server.ErrForbidden) {
+		t.Fatalf("cross-group insert err = %v, want ErrForbidden", err)
+	}
+	var be *server.BatchError
+	if !errors.As(err, &be) || be.Index != 1 {
+		t.Fatalf("global op index not preserved: %v", err)
+	}
+	if !strings.Contains(err.Error(), fmt.Sprintf("shard %d", shard)) {
+		t.Fatalf("error does not name the failing shard: %v", err)
+	}
+	if local.Servers[shard].NumElements() != before {
+		t.Fatal("failing shard applied part of a rejected sub-batch")
+	}
+}
+
+// failingShard wraps a transport and fails every batched query.
+type failingShard struct {
+	client.Transport
+}
+
+func (f failingShard) QueryBatch([]crypt.Token, []server.ListQuery) (client.BatchQueryResult, error) {
+	return client.BatchQueryResult{}, errors.New("shard down")
+}
+
+func TestRouterQueryBatchShardFailure(t *testing.T) {
+	local, _, toks := newBatchCluster(t, 9)
+	shards := make([]client.Transport, 3)
+	for i, srv := range local.Servers {
+		shards[i] = client.Local{S: srv}
+	}
+	shards[1] = failingShard{shards[1]}
+	router, err := NewRouter(shards...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]server.ListQuery, 9)
+	for i := range queries {
+		queries[i] = server.ListQuery{List: zerber.ListID(i), Offset: 0, Count: 10}
+	}
+	_, err = router.QueryBatch(toks, queries)
+	if err == nil {
+		t.Fatal("dead shard did not surface")
+	}
+	if !strings.Contains(err.Error(), "shard 1") || !strings.Contains(err.Error(), "shard down") {
+		t.Fatalf("shard failure not attributed: %v", err)
+	}
+}
+
+// TestClusterSearchBatchedMatchesSerial runs the acceptance
+// comparison on a sharded deployment: batched multi-term search over
+// the router returns the serial path's results in max(per-term
+// rounds) round-trips.
+func TestClusterSearchBatchedMatchesSerial(t *testing.T) {
+	h := newClusterHarness(t, 3, 3)
+	terms := h.c.TermsByDF()
+	q := []corpus.TermID{terms[0], terms[20], terms[150]}
+
+	serialRes, serialStats, err := h.cl.SearchSerial(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchedRes, batchedStats, err := h.cl.Search(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serialRes) != len(batchedRes) {
+		t.Fatalf("serial %d results, batched %d", len(serialRes), len(batchedRes))
+	}
+	for i := range serialRes {
+		if serialRes[i] != batchedRes[i] {
+			t.Fatalf("rank %d: serial %+v, batched %+v", i, serialRes[i], batchedRes[i])
+		}
+	}
+	if batchedStats.Requests != serialStats.Requests {
+		t.Errorf("batched list requests %d, serial %d", batchedStats.Requests, serialStats.Requests)
+	}
+	if batchedStats.Rounds >= serialStats.Rounds {
+		t.Errorf("batched rounds %d not below serial rounds %d", batchedStats.Rounds, serialStats.Rounds)
+	}
+}

@@ -13,6 +13,9 @@ package cluster
 
 import (
 	"errors"
+	"fmt"
+	"sort"
+	"sync"
 	"time"
 
 	"zerberr/internal/client"
@@ -66,6 +69,126 @@ func (r *Router) Query(toks []crypt.Token, list zerber.ListID, offset, count int
 // Remove implements client.Transport.
 func (r *Router) Remove(tok crypt.Token, list zerber.ListID, sealed []byte) error {
 	return r.shards[r.ShardFor(list)].Remove(tok, list, sealed)
+}
+
+// shardFanOut groups batch operation indices by owning shard, runs fn
+// concurrently per shard with the shard-local index slice, and
+// returns the failure of the lowest-numbered failing shard,
+// decorated with its shard index. A shard-local *server.BatchError is
+// remapped onto the caller's original batch index, so partial-failure
+// reporting survives the scatter/gather.
+func (r *Router) shardFanOut(n int, listOf func(i int) zerber.ListID, fn func(shard int, idxs []int) error) error {
+	byShard := make(map[int][]int)
+	for i := 0; i < n; i++ {
+		s := r.ShardFor(listOf(i))
+		byShard[s] = append(byShard[s], i)
+	}
+	shards := make([]int, 0, len(byShard))
+	for s := range byShard {
+		shards = append(shards, s)
+	}
+	sort.Ints(shards)
+	errs := make(map[int]error, len(shards))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, s := range shards {
+		wg.Add(1)
+		go func(s int, idxs []int) {
+			defer wg.Done()
+			if err := fn(s, idxs); err != nil {
+				var be *server.BatchError
+				// The shard-local index is remote input (an HTTP shard
+				// controls it); remap only if it addresses this
+				// sub-batch, never trusting it to index idxs.
+				if errors.As(err, &be) && be.Index >= 0 && be.Index < len(idxs) {
+					err = &server.BatchError{Index: idxs[be.Index], Err: fmt.Errorf("cluster: shard %d: %w", s, be.Err)}
+				} else {
+					err = fmt.Errorf("cluster: shard %d: %w", s, err)
+				}
+				mu.Lock()
+				errs[s] = err
+				mu.Unlock()
+			}
+		}(s, byShard[s])
+	}
+	wg.Wait()
+	for _, s := range shards {
+		if err := errs[s]; err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// QueryBatch implements client.Transport: sub-queries are grouped by
+// owning shard, the shards are queried concurrently, and the
+// responses are reassembled in the caller's order. WireBytes sums the
+// shards' measured response sizes.
+func (r *Router) QueryBatch(toks []crypt.Token, queries []server.ListQuery) (client.BatchQueryResult, error) {
+	if len(queries) == 0 {
+		return client.BatchQueryResult{}, fmt.Errorf("%w: empty query batch", server.ErrBadRequest)
+	}
+	out := make([]server.QueryResponse, len(queries))
+	var mu sync.Mutex
+	wireBytes := 0
+	err := r.shardFanOut(len(queries), func(i int) zerber.ListID { return queries[i].List }, func(shard int, idxs []int) error {
+		sub := make([]server.ListQuery, len(idxs))
+		for j, gi := range idxs {
+			sub[j] = queries[gi]
+		}
+		res, err := r.shards[shard].QueryBatch(toks, sub)
+		if err != nil {
+			return err
+		}
+		if len(res.Responses) != len(sub) {
+			return fmt.Errorf("%d responses for %d queries", len(res.Responses), len(sub))
+		}
+		for j, gi := range idxs {
+			out[gi] = res.Responses[j]
+		}
+		mu.Lock()
+		wireBytes += res.WireBytes
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return client.BatchQueryResult{}, err
+	}
+	return client.BatchQueryResult{Responses: out, WireBytes: wireBytes}, nil
+}
+
+// InsertBatch implements client.Transport: operations are grouped by
+// owning shard and applied concurrently. Each shard validates its
+// sub-batch atomically, but atomicity does not span shards — a
+// failing shard leaves other shards' sub-batches applied. The
+// returned *server.BatchError carries the index in the caller's
+// batch and the failing shard.
+func (r *Router) InsertBatch(tok crypt.Token, ops []server.InsertOp) error {
+	if len(ops) == 0 {
+		return fmt.Errorf("%w: empty insert batch", server.ErrBadRequest)
+	}
+	return r.shardFanOut(len(ops), func(i int) zerber.ListID { return ops[i].List }, func(shard int, idxs []int) error {
+		sub := make([]server.InsertOp, len(idxs))
+		for j, gi := range idxs {
+			sub[j] = ops[gi]
+		}
+		return r.shards[shard].InsertBatch(tok, sub)
+	})
+}
+
+// RemoveBatch implements client.Transport, with the same per-shard
+// grouping and atomicity caveat as InsertBatch.
+func (r *Router) RemoveBatch(tok crypt.Token, ops []server.RemoveOp) error {
+	if len(ops) == 0 {
+		return fmt.Errorf("%w: empty remove batch", server.ErrBadRequest)
+	}
+	return r.shardFanOut(len(ops), func(i int) zerber.ListID { return ops[i].List }, func(shard int, idxs []int) error {
+		sub := make([]server.RemoveOp, len(idxs))
+		for j, gi := range idxs {
+			sub[j] = ops[gi]
+		}
+		return r.shards[shard].RemoveBatch(tok, sub)
+	})
 }
 
 // Local is a convenience in-process cluster: n servers sharing one

@@ -1,0 +1,242 @@
+package server
+
+// Batched (v2) operations: the progressive protocol of Section 5.2 is
+// inherently multi-round, and a multi-term query runs one follow-up
+// loop per term. v1 forced every round of every term onto its own
+// round-trip; the batch API lets a client cover every still-open list
+// with a single exchange per round, and lets writers upload a whole
+// document's posting elements at once. Sub-queries of one batch are
+// executed concurrently — they only take read views of the backend,
+// so the fan-out is safe.
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"zerberr/internal/crypt"
+	"zerberr/internal/zerber"
+)
+
+// ListQuery is one sub-query of a batched query: a ranked range of one
+// merged posting list.
+type ListQuery struct {
+	List   zerber.ListID `json:"list"`
+	Offset int           `json:"offset"`
+	Count  int           `json:"count"`
+}
+
+// InsertOp is one element upload of a batched insert.
+type InsertOp struct {
+	List    zerber.ListID `json:"list"`
+	Element StoredElement `json:"element"`
+}
+
+// RemoveOp is one element deletion of a batched remove.
+type RemoveOp struct {
+	List   zerber.ListID `json:"list"`
+	Sealed []byte        `json:"sealed"`
+}
+
+// BatchError reports which operation of a batch failed. It unwraps to
+// the underlying sentinel, so errors.Is(err, ErrForbidden) etc. keep
+// working on batched paths.
+type BatchError struct {
+	// Index is the position of the failing operation in the request
+	// batch (for cluster fan-out, the position in the client's
+	// original batch, not the shard-local one).
+	Index int
+	Err   error
+}
+
+func (e *BatchError) Error() string { return fmt.Sprintf("batch op %d: %v", e.Index, e.Err) }
+
+func (e *BatchError) Unwrap() error { return e.Err }
+
+// MaxBatchOps bounds how many operations or sub-queries one batch may
+// carry; larger batches are rejected as bad requests. It caps the
+// work (and, for queries, the goroutines) a single authenticated
+// request can demand, and is far above what the client-side protocol
+// generates per round.
+const MaxBatchOps = 4096
+
+// checkBatchSize rejects empty and oversized batches.
+func checkBatchSize(n int) error {
+	if n == 0 {
+		return fmt.Errorf("%w: empty batch", ErrBadRequest)
+	}
+	if n > MaxBatchOps {
+		return fmt.Errorf("%w: batch of %d operations exceeds the maximum %d", ErrBadRequest, n, MaxBatchOps)
+	}
+	return nil
+}
+
+// QueryBatch answers every sub-query under one token validation,
+// executing them concurrently (bounded by GOMAXPROCS). Responses are
+// returned in request order. Validation failures and sub-query errors
+// fail the whole batch with a *BatchError carrying the lowest failing
+// index.
+func (s *Server) QueryBatch(toks []crypt.Token, queries []ListQuery) ([]QueryResponse, error) {
+	if err := checkBatchSize(len(queries)); err != nil {
+		return nil, err
+	}
+	// Validate every sub-query before running any, so a malformed
+	// batch fails as a unit with a precise index.
+	for i, q := range queries {
+		if q.Offset < 0 || q.Count <= 0 {
+			return nil, &BatchError{Index: i, Err: fmt.Errorf("%w: offset %d count %d", ErrBadRequest, q.Offset, q.Count)}
+		}
+	}
+	allowed, err := s.allowedGroups(toks)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]QueryResponse, len(queries))
+	errs := make([]error, len(queries))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, q := range queries {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, q ListQuery) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[i], errs[i] = s.queryAllowed(allowed, q.List, q.Offset, q.Count)
+		}(i, q)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, &BatchError{Index: i, Err: err}
+		}
+	}
+	return out, nil
+}
+
+// InsertBatch stores a batch of sealed posting elements under one
+// token. The whole batch is validated (payloads present, token covers
+// every element's group) before any element is applied, so a bad
+// operation fails the batch atomically with its index; only a storage
+// I/O failure (durable backend) can interrupt a validated batch
+// mid-apply.
+func (s *Server) InsertBatch(tok crypt.Token, ops []InsertOp) error {
+	if err := checkBatchSize(len(ops)); err != nil {
+		return err
+	}
+	allowed, err := s.allowedGroups([]crypt.Token{tok})
+	if err != nil {
+		return err
+	}
+	for i, op := range ops {
+		if op.Element.Sealed == nil {
+			return &BatchError{Index: i, Err: fmt.Errorf("%w: empty payload", ErrBadRequest)}
+		}
+		if !allowed[op.Element.Group] {
+			return &BatchError{Index: i, Err: fmt.Errorf("%w: token group %d, element group %d", ErrForbidden, tok.Group, op.Element.Group)}
+		}
+	}
+	for i, op := range ops {
+		if err := s.backend.Insert(op.List, op.Element); err != nil {
+			return &BatchError{Index: i, Err: err}
+		}
+	}
+	return nil
+}
+
+// RemoveBatch deletes a batch of elements under one token. Every
+// operation is checked first — payload present, element found, token
+// covers its group — and only a fully valid batch is applied, so one
+// bad operation fails the batch atomically with its index. (The check
+// and the apply are two passes; a concurrent writer racing the batch
+// can still surface an apply-time error, also index-precise.)
+func (s *Server) RemoveBatch(tok crypt.Token, ops []RemoveOp) error {
+	if err := checkBatchSize(len(ops)); err != nil {
+		return err
+	}
+	allowed, err := s.allowedGroups([]crypt.Token{tok})
+	if err != nil {
+		return err
+	}
+	for i, op := range ops {
+		if len(op.Sealed) == 0 {
+			return &BatchError{Index: i, Err: fmt.Errorf("%w: empty payload", ErrBadRequest)}
+		}
+	}
+	// Pre-flight: every victim must exist and be removable, one list
+	// view per distinct list. Instances are counted, not just looked
+	// up, so a batch naming the same payload more often than the list
+	// holds it is rejected up front rather than failing mid-apply.
+	byList := make(map[zerber.ListID][]int)
+	for i, op := range ops {
+		byList[op.List] = append(byList[op.List], i)
+	}
+	for list, idxs := range byList {
+		// Only the batch's own payloads are tracked during the scan,
+		// so the pre-flight allocates O(batch), not O(list).
+		wanted := make(map[string]bool, len(idxs))
+		for _, i := range idxs {
+			wanted[string(ops[i].Sealed)] = true
+		}
+		groups := make(map[string]int, len(wanted))
+		instances := make(map[string]int, len(wanted))
+		err := s.backend.View(list, func(elems []StoredElement) {
+			for _, el := range elems {
+				if !wanted[string(el.Sealed)] {
+					continue
+				}
+				groups[string(el.Sealed)] = el.Group
+				instances[string(el.Sealed)]++
+			}
+		})
+		if err != nil {
+			return &BatchError{Index: idxs[0], Err: fmt.Errorf("%w: %d", ErrUnknownList, list)}
+		}
+		for _, i := range idxs {
+			sealed := string(ops[i].Sealed)
+			group, ok := groups[sealed]
+			if !ok {
+				return &BatchError{Index: i, Err: fmt.Errorf("%w in list %d", ErrNotFound, list)}
+			}
+			if !allowed[group] {
+				return &BatchError{Index: i, Err: fmt.Errorf("%w: element of group %d", ErrForbidden, group)}
+			}
+			if instances[sealed] == 0 {
+				return &BatchError{Index: i, Err: fmt.Errorf("%w in list %d (payload named more often than stored)", ErrNotFound, list)}
+			}
+			instances[sealed]--
+		}
+	}
+	for i, op := range ops {
+		if err := s.removeAllowed(allowed, op.List, op.Sealed); err != nil {
+			return &BatchError{Index: i, Err: err}
+		}
+	}
+	return nil
+}
+
+// ListStat is one list's entry in the v2 stats.
+type ListStat struct {
+	List     zerber.ListID `json:"list"`
+	Elements int           `json:"elements"`
+}
+
+// StatsV2 reports the totals plus per-list element counts (ascending
+// list ID) and the storage backend name.
+func (s *Server) StatsV2() StatsV2Response {
+	lists := s.backend.Lists()
+	per := make([]ListStat, 0, len(lists))
+	elements := 0
+	for _, l := range lists {
+		n := s.backend.Len(l)
+		per = append(per, ListStat{List: l, Elements: n})
+		elements += n
+	}
+	sort.Slice(per, func(i, j int) bool { return per[i].List < per[j].List })
+	return StatsV2Response{
+		Lists:    len(lists),
+		Elements: elements,
+		Backend:  s.backend.Name(),
+		PerList:  per,
+	}
+}

@@ -14,11 +14,23 @@ import (
 // index server can be outsourced onto a remote host (cmd/zerberd) and
 // exercised by clients over the network.
 //
+// v1 — one operation per round-trip, kept for compatibility:
+//
 //	POST /v1/login   {"user": "john"}                     -> {"tokens": [...]}
 //	POST /v1/insert  {"token": ..., "list": 3, "element": ...} -> {}
 //	POST /v1/query   {"tokens": [...], "list": 3,
 //	                  "offset": 0, "count": 10}           -> QueryResponse
+//	POST /v1/remove  {"token": ..., "list": 3, "sealed": ...} -> {}
 //	GET  /v1/stats                                        -> {"lists":n,"elements":m}
+//
+// v2 — batched operations with structured {code, error} envelopes
+// (see DESIGN.md "Wire protocol v2" for the error-code registry):
+//
+//	POST /v2/query   {"tokens": [...], "queries": [{list,offset,count}...]}
+//	                                                      -> {"responses": [QueryResponse...]}
+//	POST /v2/insert  {"token": ..., "ops": [{list,element}...]} -> {}
+//	POST /v2/remove  {"token": ..., "ops": [{list,sealed}...]}  -> {}
+//	GET  /v2/stats   -> {"lists","elements","backend","per_list":[{list,elements}...]}
 
 // LoginRequest is the /v1/login payload.
 type LoginRequest struct {
@@ -58,9 +70,107 @@ type StatsResponse struct {
 	Elements int `json:"elements"`
 }
 
-// errorBody is the JSON error envelope.
+// QueryBatchRequest is the /v2/query payload.
+type QueryBatchRequest struct {
+	Tokens  []crypt.Token `json:"tokens"`
+	Queries []ListQuery   `json:"queries"`
+}
+
+// QueryBatchResponse carries one QueryResponse per sub-query, in
+// request order.
+type QueryBatchResponse struct {
+	Responses []QueryResponse `json:"responses"`
+}
+
+// InsertBatchRequest is the /v2/insert payload.
+type InsertBatchRequest struct {
+	Token crypt.Token `json:"token"`
+	Ops   []InsertOp  `json:"ops"`
+}
+
+// RemoveBatchRequest is the /v2/remove payload.
+type RemoveBatchRequest struct {
+	Token crypt.Token `json:"token"`
+	Ops   []RemoveOp  `json:"ops"`
+}
+
+// StatsV2Response is the /v2/stats payload.
+type StatsV2Response struct {
+	Lists    int        `json:"lists"`
+	Elements int        `json:"elements"`
+	Backend  string     `json:"backend"`
+	PerList  []ListStat `json:"per_list"`
+}
+
+// errorBody is the v1 JSON error envelope.
 type errorBody struct {
 	Error string `json:"error"`
+}
+
+// ErrorV2 is the v2 structured error envelope: a machine-readable
+// code from the registry below, the human-readable message, and — for
+// batch failures — the index of the offending operation.
+type ErrorV2 struct {
+	Code  string `json:"code"`
+	Error string `json:"error"`
+	Index *int   `json:"index,omitempty"`
+}
+
+// v2 error codes. The HTTP client transport maps them back onto the
+// sentinel errors, so in-process and remote callers observe identical
+// error identities.
+const (
+	CodeBadToken     = "bad_token"
+	CodeTokenExpired = "token_expired"
+	CodeForbidden    = "forbidden"
+	CodeUnknownUser  = "unknown_user"
+	CodeUnknownList  = "unknown_list"
+	CodeNotFound     = "not_found"
+	CodeBadRequest   = "bad_request"
+	CodeInternal     = "internal"
+)
+
+// ErrorCode maps a server error onto its v2 wire code.
+func ErrorCode(err error) string {
+	switch {
+	case errors.Is(err, ErrTokenExpired):
+		return CodeTokenExpired
+	case errors.Is(err, ErrAuth):
+		return CodeBadToken
+	case errors.Is(err, ErrForbidden):
+		return CodeForbidden
+	case errors.Is(err, ErrUnknownUser):
+		return CodeUnknownUser
+	case errors.Is(err, ErrUnknownList):
+		return CodeUnknownList
+	case errors.Is(err, ErrNotFound):
+		return CodeNotFound
+	case errors.Is(err, ErrBadRequest):
+		return CodeBadRequest
+	}
+	return CodeInternal
+}
+
+// SentinelForCode is ErrorCode's inverse: the sentinel error a wire
+// code stands for, or nil for internal/unknown codes.
+func SentinelForCode(code string) error {
+	switch code {
+	case CodeBadToken:
+		return ErrAuth
+	case CodeTokenExpired:
+		return ErrTokenExpired
+	case CodeForbidden:
+		return ErrForbidden
+	case CodeUnknownUser:
+		return ErrUnknownUser
+	case CodeUnknownList:
+		return ErrUnknownList
+	case CodeNotFound:
+		return ErrNotFound
+	case CodeBadRequest:
+		return ErrBadRequest
+	}
+	return nil
 }
 
 // Handler returns the HTTP API for the server.
@@ -115,6 +225,43 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, StatsResponse{Lists: s.NumLists(), Elements: s.NumElements()})
 	})
+	mux.HandleFunc("POST /v2/query", func(w http.ResponseWriter, r *http.Request) {
+		var req QueryBatchRequest
+		if !decodeV2(w, r, &req) {
+			return
+		}
+		resps, err := s.QueryBatch(req.Tokens, req.Queries)
+		if err != nil {
+			writeErrV2(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, QueryBatchResponse{Responses: resps})
+	})
+	mux.HandleFunc("POST /v2/insert", func(w http.ResponseWriter, r *http.Request) {
+		var req InsertBatchRequest
+		if !decodeV2(w, r, &req) {
+			return
+		}
+		if err := s.InsertBatch(req.Token, req.Ops); err != nil {
+			writeErrV2(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, struct{}{})
+	})
+	mux.HandleFunc("POST /v2/remove", func(w http.ResponseWriter, r *http.Request) {
+		var req RemoveBatchRequest
+		if !decodeV2(w, r, &req) {
+			return
+		}
+		if err := s.RemoveBatch(req.Token, req.Ops); err != nil {
+			writeErrV2(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, struct{}{})
+	})
+	mux.HandleFunc("GET /v2/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.StatsV2())
+	})
 	return mux
 }
 
@@ -128,19 +275,44 @@ func decode(w http.ResponseWriter, r *http.Request, dst interface{}) bool {
 	return true
 }
 
-func writeErr(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
+func decodeV2(w http.ResponseWriter, r *http.Request, dst interface{}) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorV2{Code: CodeBadRequest, Error: fmt.Sprintf("bad request body: %v", err)})
+		return false
+	}
+	return true
+}
+
+// statusFor maps a server error onto its HTTP status (shared by the
+// v1 and v2 error writers).
+func statusFor(err error) int {
 	switch {
 	case errors.Is(err, ErrAuth):
-		status = http.StatusUnauthorized
+		return http.StatusUnauthorized
 	case errors.Is(err, ErrForbidden):
-		status = http.StatusForbidden
+		return http.StatusForbidden
 	case errors.Is(err, ErrUnknownUser), errors.Is(err, ErrUnknownList), errors.Is(err, ErrNotFound):
-		status = http.StatusNotFound
+		return http.StatusNotFound
 	case errors.Is(err, ErrBadRequest):
-		status = http.StatusBadRequest
+		return http.StatusBadRequest
 	}
-	writeJSON(w, status, errorBody{Error: err.Error()})
+	return http.StatusInternalServerError
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	writeJSON(w, statusFor(err), errorBody{Error: err.Error()})
+}
+
+func writeErrV2(w http.ResponseWriter, err error) {
+	env := ErrorV2{Code: ErrorCode(err), Error: err.Error()}
+	var be *BatchError
+	if errors.As(err, &be) {
+		idx := be.Index
+		env.Index = &idx
+	}
+	writeJSON(w, statusFor(err), env)
 }
 
 func writeJSON(w http.ResponseWriter, status int, body interface{}) {

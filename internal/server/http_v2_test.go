@@ -1,0 +1,255 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"zerberr/internal/crypt"
+)
+
+// decodeV2Err reads a v2 error envelope off a response.
+func decodeV2Err(t *testing.T, resp *http.Response) ErrorV2 {
+	t.Helper()
+	var env ErrorV2
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("decoding v2 error envelope: %v", err)
+	}
+	resp.Body.Close()
+	return env
+}
+
+func TestHTTPV2BatchedRoundTrip(t *testing.T) {
+	s := New(secret, time.Hour)
+	s.RegisterUser("john", 0)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := post(t, ts, "/v1/login", LoginRequest{User: "john"})
+	var lr LoginResponse
+	if err := json.NewDecoder(resp.Body).Decode(&lr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	tok := lr.Tokens[0]
+
+	// Batched insert: four elements across two lists, one round-trip.
+	ins := InsertBatchRequest{Token: tok, Ops: []InsertOp{
+		{List: 1, Element: StoredElement{Sealed: []byte{1}, TRS: 0.9, Group: 0}},
+		{List: 1, Element: StoredElement{Sealed: []byte{2}, TRS: 0.4, Group: 0}},
+		{List: 2, Element: StoredElement{Sealed: []byte{3}, TRS: 0.7, Group: 0}},
+		{List: 2, Element: StoredElement{Sealed: []byte{4}, TRS: 0.2, Group: 0}},
+	}}
+	r := post(t, ts, "/v2/insert", ins)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("batched insert status %d", r.StatusCode)
+	}
+	r.Body.Close()
+
+	// Batched query: both lists in one exchange, responses in request
+	// order, each ranked.
+	qr := QueryBatchRequest{Tokens: lr.Tokens, Queries: []ListQuery{
+		{List: 2, Offset: 0, Count: 10},
+		{List: 1, Offset: 0, Count: 1},
+	}}
+	r = post(t, ts, "/v2/query", qr)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("batched query status %d", r.StatusCode)
+	}
+	var qbr QueryBatchResponse
+	if err := json.NewDecoder(r.Body).Decode(&qbr); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if len(qbr.Responses) != 2 {
+		t.Fatalf("got %d responses, want 2", len(qbr.Responses))
+	}
+	if got := qbr.Responses[0]; len(got.Elements) != 2 || !got.Exhausted || got.Elements[0].TRS != 0.7 {
+		t.Fatalf("list 2 response %+v", got)
+	}
+	if got := qbr.Responses[1]; len(got.Elements) != 1 || got.Exhausted || got.Elements[0].TRS != 0.9 {
+		t.Fatalf("list 1 response %+v", got)
+	}
+
+	// v2 stats: per-list counts and the backend name.
+	sr, err := http.Get(ts.URL + "/v2/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StatsV2Response
+	if err := json.NewDecoder(sr.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	sr.Body.Close()
+	if st.Backend != "memory" || st.Lists != 2 || st.Elements != 4 {
+		t.Fatalf("stats %+v", st)
+	}
+	if len(st.PerList) != 2 || st.PerList[0].List != 1 || st.PerList[0].Elements != 2 ||
+		st.PerList[1].List != 2 || st.PerList[1].Elements != 2 {
+		t.Fatalf("per-list stats %+v", st.PerList)
+	}
+
+	// Batched remove drains list 1.
+	r = post(t, ts, "/v2/remove", RemoveBatchRequest{Token: tok, Ops: []RemoveOp{
+		{List: 1, Sealed: []byte{1}},
+		{List: 1, Sealed: []byte{2}},
+	}})
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("batched remove status %d", r.StatusCode)
+	}
+	r.Body.Close()
+	if s.ListLen(1) != 0 || s.ListLen(2) != 2 {
+		t.Fatalf("after remove: list1=%d list2=%d", s.ListLen(1), s.ListLen(2))
+	}
+}
+
+func TestHTTPV2StructuredErrors(t *testing.T) {
+	s := New(secret, time.Hour)
+	s.RegisterUser("john", 0)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := post(t, ts, "/v1/login", LoginRequest{User: "john"})
+	var lr LoginResponse
+	if err := json.NewDecoder(resp.Body).Decode(&lr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	tok := lr.Tokens[0]
+	if err := s.Insert(tok, 5, StoredElement{Sealed: []byte{9}, TRS: 0.5, Group: 0}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Expired token: authentic MAC, lifetime over -> token_expired.
+	s.SetClock(func() time.Time { return time.Now().Add(2 * time.Hour) })
+	r := post(t, ts, "/v2/query", QueryBatchRequest{Tokens: lr.Tokens, Queries: []ListQuery{{List: 5, Count: 10}}})
+	if r.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("expired token status %d", r.StatusCode)
+	}
+	if env := decodeV2Err(t, r); env.Code != CodeTokenExpired {
+		t.Fatalf("expired token code %q", env.Code)
+	}
+	s.SetClock(time.Now)
+
+	// Forged token: bad_token.
+	forged := tok
+	forged.Group = 7
+	r = post(t, ts, "/v2/query", QueryBatchRequest{Tokens: []crypt.Token{forged}, Queries: []ListQuery{{List: 5, Count: 10}}})
+	if env := decodeV2Err(t, r); env.Code != CodeBadToken {
+		t.Fatalf("forged token code %q", env.Code)
+	}
+
+	// Unknown list / bad request inside a batch carry the op index.
+	r = post(t, ts, "/v2/query", QueryBatchRequest{Tokens: lr.Tokens, Queries: []ListQuery{
+		{List: 5, Count: 10},
+		{List: 99, Count: 10},
+	}})
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown list status %d", r.StatusCode)
+	}
+	if env := decodeV2Err(t, r); env.Code != CodeUnknownList || env.Index == nil || *env.Index != 1 {
+		t.Fatalf("unknown list envelope %+v", env)
+	}
+}
+
+func TestHTTPV2PartialFailureAtomic(t *testing.T) {
+	s := New(secret, time.Hour)
+	s.RegisterUser("john", 0)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := post(t, ts, "/v1/login", LoginRequest{User: "john"})
+	var lr LoginResponse
+	if err := json.NewDecoder(resp.Body).Decode(&lr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Op 2 targets a group the token does not cover: the whole batch
+	// must be rejected with its index and nothing applied.
+	r := post(t, ts, "/v2/insert", InsertBatchRequest{Token: lr.Tokens[0], Ops: []InsertOp{
+		{List: 1, Element: StoredElement{Sealed: []byte{1}, TRS: 0.9, Group: 0}},
+		{List: 1, Element: StoredElement{Sealed: []byte{2}, TRS: 0.8, Group: 0}},
+		{List: 2, Element: StoredElement{Sealed: []byte{3}, TRS: 0.7, Group: 5}},
+	}})
+	if r.StatusCode != http.StatusForbidden {
+		t.Fatalf("partial failure status %d", r.StatusCode)
+	}
+	env := decodeV2Err(t, r)
+	if env.Code != CodeForbidden || env.Index == nil || *env.Index != 2 {
+		t.Fatalf("partial failure envelope %+v", env)
+	}
+	if s.NumElements() != 0 {
+		t.Fatalf("%d elements applied from a rejected batch", s.NumElements())
+	}
+}
+
+func TestBatchErrorUnwraps(t *testing.T) {
+	err := &BatchError{Index: 3, Err: ErrForbidden}
+	if !errors.Is(err, ErrForbidden) {
+		t.Fatal("BatchError does not unwrap to its sentinel")
+	}
+	if ErrorCode(err) != CodeForbidden {
+		t.Fatalf("ErrorCode(BatchError) = %q", ErrorCode(err))
+	}
+	if !errors.Is(ErrTokenExpired, ErrAuth) {
+		t.Fatal("ErrTokenExpired must unwrap to ErrAuth")
+	}
+}
+
+func TestRemoveBatchDuplicatePayloadAtomic(t *testing.T) {
+	s := New(secret, time.Hour)
+	s.RegisterUser("john", 0)
+	toks, err := s.Login("john")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(toks[0], 3, StoredElement{Sealed: []byte{7}, TRS: 0.5, Group: 0}); err != nil {
+		t.Fatal(err)
+	}
+	// Two ops name the single stored instance: the pre-flight must
+	// reject the batch (index 1) without removing anything.
+	err = s.RemoveBatch(toks[0], []RemoveOp{
+		{List: 3, Sealed: []byte{7}},
+		{List: 3, Sealed: []byte{7}},
+	})
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("duplicate-payload batch err = %v, want ErrNotFound", err)
+	}
+	var be *BatchError
+	if !errors.As(err, &be) || be.Index != 1 {
+		t.Fatalf("duplicate-payload batch err = %v, want index 1", err)
+	}
+	if s.ListLen(3) != 1 {
+		t.Fatalf("rejected batch removed elements: list holds %d", s.ListLen(3))
+	}
+}
+
+func TestBatchSizeCap(t *testing.T) {
+	s := New(secret, time.Hour)
+	s.RegisterUser("john", 0)
+	toks, err := s.Login("john")
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]ListQuery, MaxBatchOps+1)
+	for i := range queries {
+		queries[i] = ListQuery{List: 1, Count: 1}
+	}
+	if _, err := s.QueryBatch(toks, queries); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("oversized query batch err = %v, want ErrBadRequest", err)
+	}
+	ops := make([]InsertOp, MaxBatchOps+1)
+	for i := range ops {
+		ops[i] = InsertOp{List: 1, Element: StoredElement{Sealed: []byte{1}, Group: 0}}
+	}
+	if err := s.InsertBatch(toks[0], ops); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("oversized insert batch err = %v, want ErrBadRequest", err)
+	}
+	if s.NumElements() != 0 {
+		t.Fatal("oversized batch partially applied")
+	}
+}

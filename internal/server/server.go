@@ -47,6 +47,12 @@ var (
 	ErrBadRequest  = errors.New("server: bad request")
 )
 
+// ErrTokenExpired is the expiry case of ErrAuth: the token's MAC is
+// authentic but its lifetime is over. It unwraps to ErrAuth, so
+// callers matching ErrAuth keep working; the v2 wire protocol carries
+// the distinction as the "token_expired" error code.
+var ErrTokenExpired = fmt.Errorf("%w: token expired", ErrAuth)
+
 // ErrNotFound reports a Remove for an element the list does not hold.
 var ErrNotFound = errors.New("server: element not found")
 
@@ -148,8 +154,14 @@ func (s *Server) allowedGroups(toks []crypt.Token) (map[int]bool, error) {
 	now := s.clock()()
 	allowed := make(map[int]bool, len(toks))
 	for _, tok := range toks {
-		if !crypt.VerifyToken(s.secret, tok, now) {
+		// Verify the MAC first (now = Expiry is never "after" expiry),
+		// then the lifetime, so expiry is only reported for authentic
+		// tokens and a forged expiry cannot probe the distinction.
+		if !crypt.VerifyToken(s.secret, tok, tok.Expiry) {
 			return nil, fmt.Errorf("%w: invalid token for user %q group %d", ErrAuth, tok.User, tok.Group)
+		}
+		if now.After(tok.Expiry) {
+			return nil, fmt.Errorf("%w: user %q group %d", ErrTokenExpired, tok.User, tok.Group)
 		}
 		allowed[tok.Group] = true
 	}
@@ -186,8 +198,15 @@ func (s *Server) Query(toks []crypt.Token, list zerber.ListID, offset, count int
 	if err != nil {
 		return QueryResponse{}, err
 	}
+	return s.queryAllowed(allowed, list, offset, count)
+}
+
+// queryAllowed is Query past token validation: batch sub-queries
+// share one validated group set instead of re-verifying the tokens
+// per sub-query.
+func (s *Server) queryAllowed(allowed map[int]bool, list zerber.ListID, offset, count int) (QueryResponse, error) {
 	var resp QueryResponse
-	err = s.backend.View(list, func(elems []StoredElement) {
+	err := s.backend.View(list, func(elems []StoredElement) {
 		var out []StoredElement
 		seen := 0
 		for _, el := range elems {
@@ -230,8 +249,14 @@ func (s *Server) Remove(tok crypt.Token, list zerber.ListID, sealed []byte) erro
 	if err != nil {
 		return err
 	}
+	return s.removeAllowed(allowed, list, sealed)
+}
+
+// removeAllowed is Remove past token validation; batch operations
+// share one validated group set.
+func (s *Server) removeAllowed(allowed map[int]bool, list zerber.ListID, sealed []byte) error {
 	deniedGroup := 0
-	err = s.backend.Remove(list, sealed, func(group int) bool {
+	err := s.backend.Remove(list, sealed, func(group int) bool {
 		if allowed[group] {
 			return true
 		}
@@ -258,6 +283,10 @@ func (s *Server) NumLists() int { return s.backend.NumLists() }
 
 // NumElements reports the total number of stored posting elements.
 func (s *Server) NumElements() int { return s.backend.NumElements() }
+
+// BackendName reports the storage engine behind the server
+// ("memory", "durable").
+func (s *Server) BackendName() string { return s.backend.Name() }
 
 // Snapshot returns a copy of a list's elements in rank order
 // (adversary's view of a compromised server; used by the attack

@@ -164,6 +164,9 @@ func (d *Durable) LastSnapshotError() error {
 	return d.lastSnapErr
 }
 
+// Name implements Backend.
+func (d *Durable) Name() string { return "durable" }
+
 // Insert implements Backend: validate nothing (inserts always apply),
 // log, then mutate memory.
 func (d *Durable) Insert(list zerber.ListID, el Element) error {

@@ -64,6 +64,9 @@ var (
 // implementations are safe for concurrent use; access control and
 // authentication stay in the server layer above.
 type Backend interface {
+	// Name identifies the engine ("memory", "durable") for
+	// diagnostics such as the /v2/stats endpoint.
+	Name() string
 	// Insert stores an element into the given merged list, creating
 	// the list if needed.
 	Insert(list zerber.ListID, el Element) error
@@ -111,6 +114,9 @@ type mergedList struct {
 func NewMemory() *Memory {
 	return &Memory{lists: make(map[zerber.ListID]*mergedList)}
 }
+
+// Name implements Backend.
+func (m *Memory) Name() string { return "memory" }
 
 // Insert implements Backend. It never fails.
 func (m *Memory) Insert(list zerber.ListID, el Element) error {
