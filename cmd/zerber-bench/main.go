@@ -28,10 +28,10 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("zerber-bench: ")
 	var (
-		list   = flag.Bool("list", false, "list experiment IDs and exit")
-		run    = flag.String("run", "all", "experiment ID to run, or 'all'")
-		scale  = flag.Float64("scale", 1, "corpus scale factor (1 = laptop default)")
-		seed   = flag.Uint64("seed", 1, "deterministic seed")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		run     = flag.String("run", "all", "experiment ID to run, or 'all'")
+		scale   = flag.Float64("scale", 1, "corpus scale factor (1 = laptop default)")
+		seed    = flag.Uint64("seed", 1, "deterministic seed")
 		csvDir  = flag.String("csv", "", "also write per-experiment CSV files into this directory")
 		quiet   = flag.Bool("q", false, "suppress progress logging")
 		batched = flag.Bool("batched", false, "drive search-timing loops over the batched v2 protocol (the bandwidth experiment always reports serial-vs-batched round-trips)")

@@ -93,8 +93,10 @@ func main() {
 			log.Fatalf("opening data dir: %v", err)
 		}
 		backend = durable
+		nLists, _ := durable.NumLists()
+		nElems, _ := durable.NumElements()
 		log.Printf("durable index in %s: recovered %d lists, %d elements (seq %d)",
-			*dataDir, durable.NumLists(), durable.NumElements(), durable.Seq())
+			*dataDir, nLists, nElems, durable.Seq())
 	}
 
 	srv := server.NewWithBackend(secret, *tokenTTL, backend)

@@ -18,9 +18,14 @@
 //     lets a multi-term search finish in one round-trip per follow-up
 //     round instead of one per list request.
 //   - Storage engines (internal/store): the pluggable backends beneath
-//     the server — a RAM-only map and a durable engine with a
+//     the server — a RAM-only engine and a durable one with a
 //     CRC-framed write-ahead log, atomic snapshots and crash recovery,
 //     so a restarted server (cmd/zerberd -data-dir) keeps its index.
+//     Each merged list is held as per-group sorted sub-lists with
+//     per-list locking, so the protocol's hot operation (a ranked
+//     range filtered by the caller's groups) is a k-way merge that
+//     skips straight to the requested offset instead of scanning the
+//     list.
 //   - Trusted clients (internal/client): index documents (seal
 //     elements under group keys, compute TRS via the published RSTF,
 //     upload them as one batched insert) and execute queries

@@ -96,8 +96,12 @@ func main() {
 			hi = 0.05
 		}
 		l, _ := sys.Plan.ListOf(terms[0])
+		snap, err := sys.Server.Snapshot(l)
+		if err != nil {
+			log.Fatal(err)
+		}
 		perTerm := map[corpus.TermID][]float64{}
-		for _, el := range sys.Server.Snapshot(l) {
+		for _, el := range snap {
 			plainEl, err := codec.Open(el.Sealed, sys.Keys[el.Group])
 			if err != nil {
 				log.Fatal(err)

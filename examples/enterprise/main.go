@@ -75,7 +75,10 @@ func main() {
 	// The server's view of the same posting list: ciphertext + TRS.
 	list := sys.Plan
 	l, _ := list.ListOf(term)
-	snap := sys.Server.Snapshot(l)
+	snap, err := sys.Server.Snapshot(l)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nwhat the untrusted server stores for that merged list (first 3 of %d):\n", len(snap))
 	for _, el := range snap[:3] {
 		fmt.Printf("  group=%d TRS=%.4f sealed=%x...\n", el.Group, el.TRS, el.Sealed[:8])

@@ -246,14 +246,18 @@ func (c *Client) TopKWithInitial(term corpus.TermID, k, b int) ([]rank.Result, Q
 	}
 	scan := c.newTermScan(term, k, b)
 	for !scan.done {
-		resp, err := c.t.Query(c.tokens, scan.list, scan.offset, scan.batch)
+		resp, wireBytes, err := c.t.Query(c.tokens, scan.list, scan.offset, scan.batch)
 		if err != nil {
 			return nil, stats, err
 		}
 		stats.Requests++
 		stats.Rounds++
 		stats.Elements += len(resp.Elements)
-		stats.Bytes += len(resp.Elements) * c.cfg.Codec.WireSize()
+		if wireBytes > 0 {
+			stats.Bytes += wireBytes
+		} else {
+			stats.Bytes += len(resp.Elements) * c.cfg.Codec.WireSize()
+		}
 		if err := scan.absorb(resp, c.openElement); err != nil {
 			return nil, stats, err
 		}
@@ -427,6 +431,7 @@ func (c *Client) Search(terms []corpus.TermID, k int) ([]rank.Result, QueryStats
 	if k <= 0 {
 		return nil, total, fmt.Errorf("client: k must be positive, got %d", k)
 	}
+	terms = uniqueTerms(terms)
 	scans := make([]*termScan, len(terms))
 	for i, term := range terms {
 		scans[i] = c.newTermScan(term, k, c.cfg.InitialResponse)
@@ -484,7 +489,7 @@ func (c *Client) SearchSerial(terms []corpus.TermID, k int) ([]rank.Result, Quer
 	var total QueryStats
 	acc := make(map[corpus.DocID]float64)
 	exhaustedAll := true
-	for _, term := range terms {
+	for _, term := range uniqueTerms(terms) {
 		res, st, err := c.TopK(term, k)
 		total.add(st)
 		if err != nil {
@@ -497,6 +502,25 @@ func (c *Client) SearchSerial(terms []corpus.TermID, k int) ([]rank.Result, Quer
 	}
 	total.Exhausted = exhaustedAll
 	return rank.TopK(acc, k), total, nil
+}
+
+// uniqueTerms drops repeated query terms, keeping first-occurrence
+// order. Section 3.2 scoring sums each document's per-term top-k
+// contribution once per distinct term; without deduplication a
+// repeated term would run its own scan and rank.Accumulate would add
+// the same contribution twice, inflating the repeated term's weight
+// (and the query's cost) relative to the model.
+func uniqueTerms(terms []corpus.TermID) []corpus.TermID {
+	seen := make(map[corpus.TermID]bool, len(terms))
+	uniq := make([]corpus.TermID, 0, len(terms))
+	for _, t := range terms {
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		uniq = append(uniq, t)
+	}
+	return uniq
 }
 
 // DeleteDocument removes every posting element of the document from

@@ -281,7 +281,10 @@ func TestTamperedElementSurfaces(t *testing.T) {
 	term := h.c.TermsByDF()[0]
 	list := h.cl.ListFor(term)
 	// Corrupt the top element server-side (compromised server).
-	snap := h.srv.Snapshot(list)
+	snap, err := h.srv.Snapshot(list)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(snap) == 0 {
 		t.Fatal("empty list")
 	}

@@ -22,7 +22,12 @@ import (
 type Transport interface {
 	Login(user string) ([]crypt.Token, error)
 	Insert(tok crypt.Token, list zerber.ListID, el server.StoredElement) error
-	Query(toks []crypt.Token, list zerber.ListID, offset, count int) (server.QueryResponse, error)
+	// Query is the serial v1 read. wireBytes is the measured size of
+	// the encoded response on transports that serialize (the HTTP
+	// transport reports the JSON body size); 0 in process, where
+	// nothing crosses a wire and callers fall back to the codec's
+	// per-element estimate — the same accounting QueryBatch uses.
+	Query(toks []crypt.Token, list zerber.ListID, offset, count int) (resp server.QueryResponse, wireBytes int, err error)
 	Remove(tok crypt.Token, list zerber.ListID, sealed []byte) error
 	QueryBatch(toks []crypt.Token, queries []server.ListQuery) (BatchQueryResult, error)
 	InsertBatch(tok crypt.Token, ops []server.InsertOp) error
@@ -53,9 +58,11 @@ func (l Local) Insert(tok crypt.Token, list zerber.ListID, el server.StoredEleme
 	return l.S.Insert(tok, list, el)
 }
 
-// Query implements Transport.
-func (l Local) Query(toks []crypt.Token, list zerber.ListID, offset, count int) (server.QueryResponse, error) {
-	return l.S.Query(toks, list, offset, count)
+// Query implements Transport. Nothing is serialized in process, so
+// the measured wire size is 0.
+func (l Local) Query(toks []crypt.Token, list zerber.ListID, offset, count int) (server.QueryResponse, int, error) {
+	resp, err := l.S.Query(toks, list, offset, count)
+	return resp, 0, err
 }
 
 // Remove implements Transport.
@@ -158,11 +165,15 @@ func (h HTTP) Insert(tok crypt.Token, list zerber.ListID, el server.StoredElemen
 	return err
 }
 
-// Query implements Transport.
-func (h HTTP) Query(toks []crypt.Token, list zerber.ListID, offset, count int) (server.QueryResponse, error) {
+// Query implements Transport, reporting the measured response-body
+// size so serial-path bandwidth accounting matches the batched path.
+func (h HTTP) Query(toks []crypt.Token, list zerber.ListID, offset, count int) (server.QueryResponse, int, error) {
 	var out server.QueryResponse
-	_, err := h.postJSON("/v1/query", server.QueryRequest{Tokens: toks, List: list, Offset: offset, Count: count}, &out)
-	return out, err
+	n, err := h.postJSON("/v1/query", server.QueryRequest{Tokens: toks, List: list, Offset: offset, Count: count}, &out)
+	if err != nil {
+		return server.QueryResponse{}, 0, err
+	}
+	return out, n, nil
 }
 
 // Remove implements Transport.

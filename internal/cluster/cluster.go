@@ -61,8 +61,9 @@ func (r *Router) Insert(tok crypt.Token, list zerber.ListID, el server.StoredEle
 	return r.shards[r.ShardFor(list)].Insert(tok, list, el)
 }
 
-// Query implements client.Transport.
-func (r *Router) Query(toks []crypt.Token, list zerber.ListID, offset, count int) (server.QueryResponse, error) {
+// Query implements client.Transport, passing through the owning
+// shard's measured wire bytes.
+func (r *Router) Query(toks []crypt.Token, list zerber.ListID, offset, count int) (server.QueryResponse, int, error) {
 	return r.shards[r.ShardFor(list)].Query(toks, list, offset, count)
 }
 

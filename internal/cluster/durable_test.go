@@ -67,7 +67,7 @@ func TestRouterOverDurableShards(t *testing.T) {
 	}
 	before := make(map[zerber.ListID]server.QueryResponse)
 	for l := zerber.ListID(0); l < lists; l++ {
-		resp, err := router.Query(toks, l, 0, 100)
+		resp, _, err := router.Query(toks, l, 0, 100)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -83,7 +83,7 @@ func TestRouterOverDurableShards(t *testing.T) {
 		t.Fatal(err)
 	}
 	for l := zerber.ListID(0); l < lists; l++ {
-		resp, err := router.Query(toks, l, 0, 100)
+		resp, _, err := router.Query(toks, l, 0, 100)
 		if err != nil {
 			t.Fatalf("list %d after restart: %v", l, err)
 		}

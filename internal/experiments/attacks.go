@@ -166,7 +166,10 @@ func (v *attackView) eligibleLists(minTrain, minElems, maxLists int) []zerber.Li
 // omniscient key access).
 func (v *attackView) decryptList(list zerber.ListID) (observed []float64, truth []corpus.TermID, fromTrain []bool, err error) {
 	codec := crypt.Compact64Codec{}
-	snap := v.sys.Server.Snapshot(list)
+	snap, err := v.sys.Server.Snapshot(list)
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	observed = make([]float64, len(snap))
 	truth = make([]corpus.TermID, len(snap))
 	fromTrain = make([]bool, len(snap))

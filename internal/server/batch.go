@@ -222,13 +222,20 @@ type ListStat struct {
 }
 
 // StatsV2 reports the totals plus per-list element counts (ascending
-// list ID) and the storage backend name.
-func (s *Server) StatsV2() StatsV2Response {
-	lists := s.backend.Lists()
+// list ID) and the storage backend name. Backend failures (e.g. a
+// closed store) propagate instead of reading as an empty index.
+func (s *Server) StatsV2() (StatsV2Response, error) {
+	lists, err := s.backend.Lists()
+	if err != nil {
+		return StatsV2Response{}, err
+	}
 	per := make([]ListStat, 0, len(lists))
 	elements := 0
 	for _, l := range lists {
-		n := s.backend.Len(l)
+		n, err := s.backend.Len(l)
+		if err != nil {
+			return StatsV2Response{}, err
+		}
 		per = append(per, ListStat{List: l, Elements: n})
 		elements += n
 	}
@@ -238,5 +245,5 @@ func (s *Server) StatsV2() StatsV2Response {
 		Elements: elements,
 		Backend:  s.backend.Name(),
 		PerList:  per,
-	}
+	}, nil
 }

@@ -223,7 +223,12 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, resp)
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, StatsResponse{Lists: s.NumLists(), Elements: s.NumElements()})
+		st, err := s.StatsV2()
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, StatsResponse{Lists: st.Lists, Elements: st.Elements})
 	})
 	mux.HandleFunc("POST /v2/query", func(w http.ResponseWriter, r *http.Request) {
 		var req QueryBatchRequest
@@ -260,7 +265,12 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, struct{}{})
 	})
 	mux.HandleFunc("GET /v2/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.StatsV2())
+		st, err := s.StatsV2()
+		if err != nil {
+			writeErrV2(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
 	})
 	return mux
 }

@@ -32,6 +32,10 @@ type StoredElement = store.Element
 // QueryResponse is one batch of the progressive protocol.
 type QueryResponse struct {
 	// Elements are the next ranked elements visible to the caller.
+	// Their Sealed slices alias the store's buffers (the backend never
+	// rewrites payload bytes in place, so they stay valid); in-process
+	// callers must not mutate them. HTTP callers get their own decoded
+	// copies.
 	Elements []StoredElement `json:"elements"`
 	// Exhausted reports that no further elements remain beyond this
 	// batch for the caller's access rights.
@@ -203,37 +207,18 @@ func (s *Server) Query(toks []crypt.Token, list zerber.ListID, offset, count int
 
 // queryAllowed is Query past token validation: batch sub-queries
 // share one validated group set instead of re-verifying the tokens
-// per sub-query.
+// per sub-query. The access-filtered ranked range is the backend's
+// own hot path (per-group sorted sub-lists merged from the requested
+// offset), so a sub-query costs the range, not the list.
 func (s *Server) queryAllowed(allowed map[int]bool, list zerber.ListID, offset, count int) (QueryResponse, error) {
-	var resp QueryResponse
-	err := s.backend.View(list, func(elems []StoredElement) {
-		var out []StoredElement
-		seen := 0
-		for _, el := range elems {
-			if !allowed[el.Group] {
-				continue
-			}
-			if seen >= offset {
-				if len(out) >= count {
-					// One extra visible element exists: not exhausted.
-					resp = QueryResponse{Elements: out}
-					return
-				}
-				cp := el
-				cp.Sealed = append([]byte(nil), el.Sealed...)
-				out = append(out, cp)
-			}
-			seen++
-		}
-		resp = QueryResponse{Elements: out, Exhausted: true}
-	})
+	res, err := s.backend.Query(list, allowed, offset, count)
 	if errors.Is(err, store.ErrUnknownList) {
 		return QueryResponse{}, fmt.Errorf("%w: %d", ErrUnknownList, list)
 	}
 	if err != nil {
 		return QueryResponse{}, err
 	}
-	return resp, nil
+	return QueryResponse{Elements: res.Elements, Exhausted: res.Exhausted}, nil
 }
 
 // Remove deletes the element whose sealed payload matches exactly,
@@ -276,13 +261,26 @@ func (s *Server) removeAllowed(allowed map[int]bool, list zerber.ListID, sealed 
 
 // ListLen reports how many elements the list holds in total
 // (administrative/diagnostic; experiments use it for cost accounting).
-func (s *Server) ListLen(list zerber.ListID) int { return s.backend.Len(list) }
+// Best-effort: a failing backend (e.g. closed) reads as zero — use
+// StatsV2 when the error matters.
+func (s *Server) ListLen(list zerber.ListID) int {
+	n, _ := s.backend.Len(list)
+	return n
+}
 
-// NumLists reports how many merged lists hold at least one element.
-func (s *Server) NumLists() int { return s.backend.NumLists() }
+// NumLists reports how many merged lists exist. Best-effort, like
+// ListLen.
+func (s *Server) NumLists() int {
+	n, _ := s.backend.NumLists()
+	return n
+}
 
 // NumElements reports the total number of stored posting elements.
-func (s *Server) NumElements() int { return s.backend.NumElements() }
+// Best-effort, like ListLen.
+func (s *Server) NumElements() int {
+	n, _ := s.backend.NumElements()
+	return n
+}
 
 // BackendName reports the storage engine behind the server
 // ("memory", "durable").
@@ -290,8 +288,9 @@ func (s *Server) BackendName() string { return s.backend.Name() }
 
 // Snapshot returns a copy of a list's elements in rank order
 // (adversary's view of a compromised server; used by the attack
-// experiments).
-func (s *Server) Snapshot(list zerber.ListID) []StoredElement {
+// experiments). An unknown list is ErrUnknownList and a failing
+// backend propagates, so callers can tell "empty" from "failed".
+func (s *Server) Snapshot(list zerber.ListID) ([]StoredElement, error) {
 	var out []StoredElement
 	err := s.backend.View(list, func(elems []StoredElement) {
 		out = make([]StoredElement, len(elems))
@@ -300,11 +299,18 @@ func (s *Server) Snapshot(list zerber.ListID) []StoredElement {
 			out[i].Sealed = append([]byte(nil), el.Sealed...)
 		}
 	})
-	if err != nil {
-		return nil
+	if errors.Is(err, store.ErrUnknownList) {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownList, list)
 	}
-	return out
+	if err != nil {
+		return nil, fmt.Errorf("server: snapshot of list %d: %w", list, err)
+	}
+	return out, nil
 }
 
-// Lists returns the IDs of all non-empty lists in ascending order.
-func (s *Server) Lists() []zerber.ListID { return s.backend.Lists() }
+// Lists returns the IDs of all known lists in ascending order.
+// Best-effort, like ListLen.
+func (s *Server) Lists() []zerber.ListID {
+	out, _ := s.backend.Lists()
+	return out
+}

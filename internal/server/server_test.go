@@ -2,6 +2,7 @@ package server
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 
@@ -250,18 +251,24 @@ func TestStatsAndSnapshot(t *testing.T) {
 	if s.NumLists() != 2 || s.NumElements() != 2 || s.ListLen(1) != 1 {
 		t.Fatalf("stats: lists=%d elements=%d len1=%d", s.NumLists(), s.NumElements(), s.ListLen(1))
 	}
-	snap := s.Snapshot(1)
+	snap, err := s.Snapshot(1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(snap) != 1 || string(snap[0].Sealed) != "x" {
 		t.Fatalf("snapshot = %v", snap)
 	}
 	// Snapshot must be a copy.
 	snap[0].Sealed[0] = 'z'
-	snap2 := s.Snapshot(1)
+	snap2, err := s.Snapshot(1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if string(snap2[0].Sealed) != "x" {
 		t.Fatal("snapshot aliased server memory")
 	}
-	if s.Snapshot(99) != nil {
-		t.Fatal("snapshot of unknown list should be nil")
+	if _, err := s.Snapshot(99); !errors.Is(err, ErrUnknownList) {
+		t.Fatalf("snapshot of unknown list: err = %v, want ErrUnknownList", err)
 	}
 	lists := s.Lists()
 	if len(lists) != 2 || lists[0] != 1 || lists[1] != 2 {
@@ -269,7 +276,11 @@ func TestStatsAndSnapshot(t *testing.T) {
 	}
 }
 
-func TestQueryResponseIsCopy(t *testing.T) {
+// Query responses alias the store's sealed payloads (the read path no
+// longer copies every payload per round); the contract is that the
+// store never rewrites payload bytes in place, so a held response
+// stays intact across later inserts and removals.
+func TestQueryResponseStableAcrossMutations(t *testing.T) {
 	s := newServer()
 	john := mustLogin(t, s, "john")
 	if err := s.Insert(john[0], 1, el(0.5, 0, "orig")); err != nil {
@@ -279,10 +290,16 @@ func TestQueryResponseIsCopy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Elements[0].Sealed[0] = 'X'
-	again, _ := s.Query(john, 1, 0, 10)
-	if string(again.Elements[0].Sealed) != "orig" {
-		t.Fatal("query response aliased server memory")
+	for i := 0; i < 64; i++ {
+		if err := s.Insert(john[0], 1, el(float64(i)/64, 0, fmt.Sprintf("later-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Remove(john[0], 1, []byte("later-0")); err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Elements[0].Sealed) != "orig" {
+		t.Fatalf("held response corrupted by later mutations: %q", resp.Elements[0].Sealed)
 	}
 }
 

@@ -1,0 +1,361 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"zerberr/internal/zerber"
+)
+
+// shadowStore is the differential-test oracle: an independent
+// reimplementation of the pre-rework read path. Lists are kept in
+// insertion order and every read stable-sorts a copy (descending TRS,
+// sealed tie-break, insertion order last) and filter-scans it — the
+// naive O(list) path the per-group structure replaced. If the k-way
+// merge ever diverges from this in any observable way, the randomized
+// driver below catches it.
+type shadowStore struct {
+	lists map[zerber.ListID][]shadowElem
+	seq   uint64
+}
+
+type shadowElem struct {
+	el  Element
+	seq uint64
+}
+
+func newShadow() *shadowStore {
+	return &shadowStore{lists: make(map[zerber.ListID][]shadowElem)}
+}
+
+func (s *shadowStore) insert(list zerber.ListID, el Element) {
+	s.lists[list] = append(s.lists[list], shadowElem{el: el, seq: s.seq})
+	s.seq++
+}
+
+// ranked returns the list's elements in the order the old sorted
+// slice held them: a stable sort of insertion order under Less.
+func (s *shadowStore) ranked(list zerber.ListID) []shadowElem {
+	elems := append([]shadowElem(nil), s.lists[list]...)
+	sort.SliceStable(elems, func(i, j int) bool { return Less(elems[i].el, elems[j].el) })
+	return elems
+}
+
+// remove deletes the rank-first matching element, mirroring a remove
+// against the (sorted) old slice. Reports whether anything matched.
+func (s *shadowStore) remove(list zerber.ListID, sealed []byte) bool {
+	for _, cand := range s.ranked(list) {
+		if !bytes.Equal(cand.el.Sealed, sealed) {
+			continue
+		}
+		kept := s.lists[list][:0]
+		for _, e := range s.lists[list] {
+			if e.seq != cand.seq {
+				kept = append(kept, e)
+			}
+		}
+		s.lists[list] = kept
+		return true
+	}
+	return false
+}
+
+// query is the old filter-scan, verbatim in shape: walk the ranked
+// list, count visible elements, emit the window, decide Exhausted by
+// whether anything visible remains past it.
+func (s *shadowStore) query(list zerber.ListID, allowed map[int]bool, offset, count int) (QueryResult, bool) {
+	if _, ok := s.lists[list]; !ok {
+		return QueryResult{}, false
+	}
+	var out []Element
+	seen := 0
+	for _, e := range s.ranked(list) {
+		if allowed != nil && !allowed[e.el.Group] {
+			continue
+		}
+		if seen >= offset {
+			if len(out) >= count {
+				return QueryResult{Elements: out}, true
+			}
+			out = append(out, e.el)
+		}
+		seen++
+	}
+	return QueryResult{Elements: out, Exhausted: true}, true
+}
+
+// TestQueryDifferential drives randomized inserts, removes and ranged
+// reads against every backend and the shadow oracle in lockstep: the
+// per-group merged read path must return element-for-element identical
+// results (same bytes, same order, same Exhausted) as the naive
+// filter-scan it replaced.
+func TestQueryDifferential(t *testing.T) {
+	for name, b := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			oracle := newShadow()
+			lists := []zerber.ListID{1, 2, 3}
+			// Few distinct TRS values so rank ties (broken by sealed
+			// bytes) are common, plus occasional payload reuse across
+			// groups so the insertion-order tie-break is exercised too.
+			var payloads []string
+			nextPayload := 0
+			randomEl := func() Element {
+				var p string
+				if len(payloads) > 0 && rng.Intn(8) == 0 {
+					p = payloads[rng.Intn(len(payloads))]
+				} else {
+					p = fmt.Sprintf("p%04d", nextPayload)
+					nextPayload++
+					payloads = append(payloads, p)
+				}
+				return Element{
+					Sealed: []byte(p),
+					TRS:    float64(rng.Intn(8)) / 8,
+					Group:  rng.Intn(5),
+				}
+			}
+			randomAllowed := func() map[int]bool {
+				switch rng.Intn(10) {
+				case 0:
+					return nil // unfiltered (the View path's view)
+				case 1:
+					return map[int]bool{} // no visible groups
+				}
+				allowed := make(map[int]bool)
+				for g := 0; g < 5; g++ {
+					if rng.Intn(2) == 0 {
+						allowed[g] = true
+					}
+				}
+				return allowed
+			}
+			check := func(step int) {
+				list := lists[rng.Intn(len(lists))]
+				if rng.Intn(20) == 0 {
+					list = 99 // sometimes unknown
+				}
+				allowed := randomAllowed()
+				offset := rng.Intn(40)
+				count := 1 + rng.Intn(25)
+				want, known := oracle.query(list, allowed, offset, count)
+				got, err := b.Query(list, allowed, offset, count)
+				if !known {
+					if err != ErrUnknownList {
+						t.Fatalf("step %d: unknown list err = %v", step, err)
+					}
+					return
+				}
+				if err != nil {
+					t.Fatalf("step %d: Query: %v", step, err)
+				}
+				if got.Exhausted != want.Exhausted {
+					t.Fatalf("step %d: list %d allowed %v offset %d count %d: exhausted %v, want %v",
+						step, list, allowed, offset, count, got.Exhausted, want.Exhausted)
+				}
+				if len(got.Elements) != len(want.Elements) {
+					t.Fatalf("step %d: list %d allowed %v offset %d count %d: %d elements, want %d",
+						step, list, allowed, offset, count, len(got.Elements), len(want.Elements))
+				}
+				for i := range got.Elements {
+					if !reflect.DeepEqual(got.Elements[i], want.Elements[i]) {
+						t.Fatalf("step %d: list %d allowed %v offset %d count %d: element %d = %+v, want %+v",
+							step, list, allowed, offset, count, i, got.Elements[i], want.Elements[i])
+					}
+				}
+			}
+			for step := 0; step < 1500; step++ {
+				switch {
+				case rng.Intn(4) != 0: // 3/4 inserts
+					list := lists[rng.Intn(len(lists))]
+					e := randomEl()
+					oracle.insert(list, e)
+					if err := b.Insert(list, e); err != nil {
+						t.Fatalf("step %d: Insert: %v", step, err)
+					}
+				default:
+					list := lists[rng.Intn(len(lists))]
+					var sealed []byte
+					if len(payloads) > 0 {
+						sealed = []byte(payloads[rng.Intn(len(payloads))])
+					} else {
+						sealed = []byte("never")
+					}
+					removed := oracle.remove(list, sealed)
+					err := b.Remove(list, sealed, nil)
+					if removed && err != nil {
+						t.Fatalf("step %d: Remove(%q): %v", step, sealed, err)
+					}
+					if !removed && err == nil {
+						t.Fatalf("step %d: Remove(%q) succeeded, oracle had no match", step, sealed)
+					}
+				}
+				check(step)
+				if step%97 == 0 {
+					if d, ok := b.(*Durable); ok {
+						if err := d.Snapshot(); err != nil {
+							t.Fatalf("step %d: Snapshot: %v", step, err)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestQueryDeepOffsets pins the skip path on a larger single list:
+// every (offset, count) window across group subsets must match the
+// oracle, including offsets far past the visible prefix.
+func TestQueryDeepOffsets(t *testing.T) {
+	m := NewMemory()
+	oracle := newShadow()
+	rng := rand.New(rand.NewSource(11))
+	const n = 5000
+	for i := 0; i < n; i++ {
+		e := Element{
+			Sealed: []byte(fmt.Sprintf("e%05d", i)),
+			TRS:    float64(rng.Intn(64)) / 64,
+			Group:  rng.Intn(6),
+		}
+		oracle.insert(7, e)
+		if err := m.Insert(7, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allowedSets := []map[int]bool{
+		nil,
+		{0: true},
+		{1: true, 4: true},
+		{0: true, 2: true, 3: true, 5: true},
+	}
+	for _, allowed := range allowedSets {
+		for _, offset := range []int{0, 1, 17, 500, 2500, 4999, 5000, 9000} {
+			for _, count := range []int{1, 10, 256, 5000} {
+				want, _ := oracle.query(7, allowed, offset, count)
+				got, err := m.Query(7, allowed, offset, count)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Exhausted != want.Exhausted || !reflect.DeepEqual(got.Elements, want.Elements) {
+					t.Fatalf("allowed %v offset %d count %d: got %d elements (exhausted=%v), want %d (exhausted=%v)",
+						allowed, offset, count, len(got.Elements), got.Exhausted, len(want.Elements), want.Exhausted)
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentQueryPerListLocks exercises the per-list locking:
+// queries, views, stats and mutations race across several lists (so
+// list-lock acquisition interleaves with map growth) — run under
+// -race in CI. Assertions are minimal; the value is the interleaving.
+func TestConcurrentQueryPerListLocks(t *testing.T) {
+	for name, b := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			const writers, readers, perWorker = 4, 4, 200
+			var wg sync.WaitGroup
+			errs := make(chan error, writers+readers)
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < perWorker; i++ {
+						list := zerber.ListID(i % 3)
+						el := Element{
+							Sealed: []byte(fmt.Sprintf("w%d-%d", w, i)),
+							TRS:    float64(i%37) / 37,
+							Group:  i % 4,
+						}
+						if err := b.Insert(list, el); err != nil {
+							errs <- err
+							return
+						}
+						if i%10 == 9 {
+							if err := b.Remove(list, el.Sealed, nil); err != nil {
+								errs <- err
+								return
+							}
+						}
+					}
+				}(w)
+			}
+			for r := 0; r < readers; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					allowed := map[int]bool{r % 4: true, (r + 1) % 4: true}
+					for i := 0; i < perWorker; i++ {
+						list := zerber.ListID(i % 3)
+						res, err := b.Query(list, allowed, i%50, 1+i%20)
+						if err != nil && err != ErrUnknownList {
+							errs <- err
+							return
+						}
+						for j := 1; j < len(res.Elements); j++ {
+							if Less(res.Elements[j], res.Elements[j-1]) {
+								errs <- fmt.Errorf("unordered result at %d", j)
+								return
+							}
+						}
+						if i%25 == 0 {
+							_ = b.View(list, func([]Element) {})
+							if _, err := b.NumElements(); err != nil {
+								errs <- err
+								return
+							}
+						}
+					}
+				}(r)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+			total := writers * perWorker
+			removed := writers * (perWorker / 10)
+			if n := mustNumElements(t, b); n != total-removed {
+				t.Fatalf("NumElements = %d, want %d", n, total-removed)
+			}
+		})
+	}
+}
+
+// Out-of-contract arguments must clamp, not panic: a negative offset
+// reads from the top (like the scan the merge replaced) on both the
+// single-group fast path and the multi-group merge.
+func TestQueryClampsBadArguments(t *testing.T) {
+	m := NewMemory()
+	for i := 0; i < 10; i++ {
+		if err := m.Insert(1, Element{Sealed: []byte(fmt.Sprintf("e%d", i)), TRS: float64(i), Group: i % 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, allowed := range []map[int]bool{{0: true}, {0: true, 1: true}} {
+		got, err := m.Query(1, allowed, -5, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := m.Query(1, allowed, 0, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("allowed %v: negative offset diverged from offset 0", allowed)
+		}
+		if res, err := m.Query(1, allowed, 0, -1); err != nil || len(res.Elements) != 0 {
+			t.Fatalf("allowed %v: negative count: %v, %d elements", allowed, err, len(res.Elements))
+		}
+		// A huge count must not overflow the exhaustion arithmetic:
+		// the whole visible remainder comes back, exhausted.
+		if res, err := m.Query(1, allowed, 1, math.MaxInt); err != nil || !res.Exhausted {
+			t.Fatalf("allowed %v: max count: err=%v exhausted=%v", allowed, err, res.Exhausted)
+		}
+	}
+}

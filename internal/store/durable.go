@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"zerberr/internal/zerber"
 )
@@ -52,7 +53,11 @@ type Durable struct {
 	opsSinceSnap int
 	lastSnapErr  error // most recent automatic-snapshot failure, if any
 	walErr       error // sticky log-write failure; set when the on-disk state is ambiguous
-	closed       bool
+
+	// closed is atomic so the read path can refuse service after Close
+	// without serializing on mu (which mutations and snapshots hold for
+	// their full duration).
+	closed atomic.Bool
 }
 
 // OpenDurable opens (or initializes) the store in dir, recovering
@@ -82,12 +87,12 @@ func OpenDurable(dir string, opt Options) (*Durable, error) {
 	maxSeq, err := replayWAL(walPath, snapSeq, func(rec walRecord) {
 		switch rec.op {
 		case opInsert:
-			mem.insertLocked(rec.list, Element{Sealed: rec.sealed, TRS: rec.trs, Group: rec.group})
+			mem.insert(rec.list, Element{Sealed: rec.sealed, TRS: rec.trs, Group: rec.group})
 		case opRemove:
 			// A remove that no longer matches (its insert was folded
 			// into the snapshot differently, or the log was truncated
 			// between the pair) is a no-op, not corruption.
-			_, _ = mem.removeLocked(rec.list, rec.sealed, nil)
+			_, _ = mem.remove(rec.list, rec.sealed, nil)
 		}
 	})
 	if err != nil {
@@ -172,7 +177,7 @@ func (d *Durable) Name() string { return "durable" }
 func (d *Durable) Insert(list zerber.ListID, el Element) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.closed {
+	if d.closed.Load() {
 		return ErrClosed
 	}
 	if err := d.logLocked(walRecord{op: opInsert, list: list, group: el.Group, trs: el.TRS, sealed: el.Sealed}); err != nil {
@@ -191,12 +196,10 @@ func (d *Durable) Insert(list zerber.ListID, el Element) error {
 func (d *Durable) Remove(list zerber.ListID, sealed []byte, allow func(group int) bool) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.closed {
+	if d.closed.Load() {
 		return ErrClosed
 	}
-	d.mem.mu.Lock()
-	removed, err := d.mem.removeLocked(list, sealed, allow)
-	d.mem.mu.Unlock()
+	removed, err := d.mem.remove(list, sealed, allow)
 	if err != nil {
 		return err
 	}
@@ -220,7 +223,7 @@ func (d *Durable) Remove(list zerber.ListID, sealed []byte, allow func(group int
 func (d *Durable) Snapshot() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.closed {
+	if d.closed.Load() {
 		return ErrClosed
 	}
 	return d.snapshotLocked()
@@ -252,22 +255,59 @@ func (d *Durable) snapshotLocked() error {
 	return nil
 }
 
+// Reads answer from memory but refuse a closed store: after Close the
+// WAL is gone and the in-RAM state is no longer maintained, so
+// answering would silently serve a frozen index. Mutations take the
+// same stance via d.mu; reads check the atomic flag instead so they
+// never queue behind a snapshot.
+
+// Query implements Backend.
+func (d *Durable) Query(list zerber.ListID, allowed map[int]bool, offset, count int) (QueryResult, error) {
+	if d.closed.Load() {
+		return QueryResult{}, ErrClosed
+	}
+	return d.mem.Query(list, allowed, offset, count)
+}
+
 // View implements Backend.
 func (d *Durable) View(list zerber.ListID, fn func(elems []Element)) error {
+	if d.closed.Load() {
+		return ErrClosed
+	}
 	return d.mem.View(list, fn)
 }
 
 // Len implements Backend.
-func (d *Durable) Len(list zerber.ListID) int { return d.mem.Len(list) }
+func (d *Durable) Len(list zerber.ListID) (int, error) {
+	if d.closed.Load() {
+		return 0, ErrClosed
+	}
+	return d.mem.Len(list)
+}
 
 // Lists implements Backend.
-func (d *Durable) Lists() []zerber.ListID { return d.mem.Lists() }
+func (d *Durable) Lists() ([]zerber.ListID, error) {
+	if d.closed.Load() {
+		return nil, ErrClosed
+	}
+	return d.mem.Lists()
+}
 
 // NumLists implements Backend.
-func (d *Durable) NumLists() int { return d.mem.NumLists() }
+func (d *Durable) NumLists() (int, error) {
+	if d.closed.Load() {
+		return 0, ErrClosed
+	}
+	return d.mem.NumLists()
+}
 
 // NumElements implements Backend.
-func (d *Durable) NumElements() int { return d.mem.NumElements() }
+func (d *Durable) NumElements() (int, error) {
+	if d.closed.Load() {
+		return 0, ErrClosed
+	}
+	return d.mem.NumElements()
+}
 
 // Seq returns the sequence number of the last logged operation
 // (diagnostics, tests).
@@ -282,10 +322,9 @@ func (d *Durable) Seq() uint64 {
 func (d *Durable) Close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.closed {
+	if d.closed.Swap(true) {
 		return nil
 	}
-	d.closed = true
 	err := d.wal.close()
 	if uerr := unlockDir(d.lock); err == nil {
 		err = uerr

@@ -108,7 +108,7 @@ func TestDurableTornFinalRecord(t *testing.T) {
 		}
 		got := dump(t, d)
 		if !reflect.DeepEqual(got, prefix) {
-			t.Fatalf("cut at %d: recovered %d elements, want the %d-op prefix", cut, d.NumElements(), n-1)
+			t.Fatalf("cut at %d: recovered %d elements, want the %d-op prefix", cut, mustNumElements(t, d), n-1)
 		}
 		// The torn tail must be gone: appending afterwards and
 		// reopening must still work.
@@ -116,7 +116,7 @@ func TestDurableTornFinalRecord(t *testing.T) {
 			t.Fatal(err)
 		}
 		d = reopen(t, d, Options{})
-		if d.Len(99) != 1 {
+		if mustLen(t, d, 99) != 1 {
 			t.Fatalf("cut at %d: post-crash append lost", cut)
 		}
 		d.Close()
@@ -135,7 +135,7 @@ func TestDurableTruncatedToAnyPrefix(t *testing.T) {
 		t.Fatal(err)
 	}
 	var states []map[zerber.ListID][]Element // states[i] = after i ops
-	var sizes []int64                       // sizes[i] = WAL size after i ops
+	var sizes []int64                        // sizes[i] = WAL size after i ops
 	states = append(states, dump(t, d))
 	fi, _ := os.Stat(filepath.Join(master, walFileName))
 	sizes = append(sizes, fi.Size())
@@ -250,7 +250,7 @@ func TestDurableStaleWALAfterSnapshot(t *testing.T) {
 	}
 	defer nd.Close()
 	if got := dump(t, nd); !reflect.DeepEqual(got, want) {
-		t.Fatalf("stale WAL double-applied: %d elements, want %d", nd.NumElements(), 30)
+		t.Fatalf("stale WAL double-applied: %d elements, want %d", mustNumElements(t, nd), 30)
 	}
 }
 
@@ -331,6 +331,41 @@ func TestDurableClosedOps(t *testing.T) {
 	}
 }
 
+// Reads must refuse a closed store too: the WAL is gone and the in-RAM
+// state is frozen, so answering would silently serve a stale index
+// (the bug: View/Len/Lists/NumLists/NumElements bypassed the closed
+// check and kept answering from memory).
+func TestDurableReadsAfterClose(t *testing.T) {
+	d, err := OpenDurable(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Insert(1, el("x", 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Query(1, nil, 0, 10); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Query on closed: %v", err)
+	}
+	if err := d.View(1, func([]Element) { t.Fatal("View ran on closed store") }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("View on closed: %v", err)
+	}
+	if n, err := d.Len(1); !errors.Is(err, ErrClosed) || n != 0 {
+		t.Fatalf("Len on closed: n=%d err=%v", n, err)
+	}
+	if ids, err := d.Lists(); !errors.Is(err, ErrClosed) || ids != nil {
+		t.Fatalf("Lists on closed: ids=%v err=%v", ids, err)
+	}
+	if n, err := d.NumLists(); !errors.Is(err, ErrClosed) || n != 0 {
+		t.Fatalf("NumLists on closed: n=%d err=%v", n, err)
+	}
+	if n, err := d.NumElements(); !errors.Is(err, ErrClosed) || n != 0 {
+		t.Fatalf("NumElements on closed: n=%d err=%v", n, err)
+	}
+}
+
 func TestDurableDataDirLocked(t *testing.T) {
 	dir := t.TempDir()
 	d, err := OpenDurable(dir, Options{})
@@ -380,7 +415,7 @@ func TestDurableWALPoisonAndHeal(t *testing.T) {
 	if err := d.Insert(1, el("fails", 2, 0)); err == nil {
 		t.Fatal("insert over broken WAL succeeded")
 	}
-	if d.Len(1) != 1 {
+	if mustLen(t, d, 1) != 1 {
 		t.Fatal("failed insert reached memory")
 	}
 	// Poisoned: even valid mutations are refused now.

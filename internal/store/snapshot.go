@@ -83,7 +83,10 @@ func encodeSnapshot(f io.Writer, seq uint64, m *Memory) error {
 	if err := writeUvarint(seq); err != nil {
 		return err
 	}
-	lists := m.Lists()
+	lists, err := m.Lists()
+	if err != nil {
+		return err
+	}
 	if err := writeUvarint(uint64(len(lists))); err != nil {
 		return err
 	}

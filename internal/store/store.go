@@ -9,9 +9,18 @@
 // the paper — the index servers are "largely untrusted" and hold the
 // index on outsourced storage). Durability therefore adds no new
 // leakage; it only changes where the sealed bytes live.
+//
+// Each merged list is kept as one sorted sub-list per group. The group
+// ID is server-visible anyway (it is what access control filters on),
+// so the decomposition leaks nothing new, and it is what makes the hot
+// path cheap: a ranked range filtered by the caller's groups is a
+// k-way merge over only the allowed sub-lists that skips straight to
+// the requested offset, O(offset·polylog + count·k) instead of a scan
+// over the whole merged list.
 package store
 
 import (
+	"bytes"
 	"errors"
 	"sort"
 	"sync"
@@ -60,6 +69,20 @@ var (
 	ErrLocked = errors.New("store: data directory locked by another process")
 )
 
+// QueryResult is one ranked range of a merged list, filtered to the
+// caller's groups.
+type QueryResult struct {
+	// Elements are the range's elements in rank order. Their Sealed
+	// slices alias the store's own buffers — callers must not mutate
+	// them (the store itself never rewrites payload bytes in place, so
+	// the aliases stay valid across later inserts and removals).
+	Elements []Element
+	// Exhausted reports that no visible element exists beyond the
+	// range, i.e. the filtered view holds at most offset+count
+	// elements.
+	Exhausted bool
+}
+
 // Backend is the storage engine beneath server.Server. All
 // implementations are safe for concurrent use; access control and
 // authentication stay in the server layer above.
@@ -75,39 +98,119 @@ type Backend interface {
 	// return aborts with ErrDenied (the ACL check must observe the
 	// element atomically with its removal). A nil allow permits all.
 	Remove(list zerber.ListID, sealed []byte, allow func(group int) bool) error
+	// Query returns up to count elements starting at offset within the
+	// list's rank order restricted to the allowed groups (nil allows
+	// every group). It is the server's hot path: the cost is the skip
+	// to offset plus the size of the range, not the length of the
+	// list. offset must be non-negative and count positive.
+	Query(list zerber.ListID, allowed map[int]bool, offset, count int) (QueryResult, error)
 	// View calls fn with the list's elements in rank order (descending
 	// TRS). The slice is only valid during the call: fn must not
-	// retain or mutate it.
+	// retain or mutate it. It materializes the full merged list —
+	// maintenance paths (snapshots, remove pre-flights) use it; ranged
+	// reads should use Query.
 	View(list zerber.ListID, fn func(elems []Element)) error
 	// Len reports how many elements the list holds (0 if absent).
-	Len(list zerber.ListID) int
+	Len(list zerber.ListID) (int, error)
 	// Lists returns the IDs of all known lists in ascending order.
 	// Lists emptied by removals remain known.
-	Lists() []zerber.ListID
+	Lists() ([]zerber.ListID, error)
 	// NumLists reports how many merged lists exist, including emptied
 	// ones.
-	NumLists() int
+	NumLists() (int, error)
 	// NumElements reports the total number of stored elements.
-	NumElements() int
+	NumElements() (int, error)
 	// Close releases the backend's resources, flushing any buffered
 	// state to stable storage first.
 	Close() error
 }
 
 // Memory is the RAM-only backend: the server's original storage,
-// factored out. It is the recovery target for Durable and the default
-// for tests and experiments.
+// reworked around per-group sorted sub-lists. It is the recovery
+// target for Durable and the default for tests and experiments.
+//
+// Locking is two-level: Memory.mu guards only the map of lists (lists
+// are created, never dropped), and every merged list carries its own
+// RWMutex — so concurrent sub-queries of a batch touching different
+// lists never contend, and readers of one list contend only with
+// writers of that list.
 type Memory struct {
 	mu    sync.RWMutex
 	lists map[zerber.ListID]*mergedList
 }
 
-// mergedList holds one merged posting list sorted by descending TRS.
-// Inserts append and mark the list dirty; the sort is re-established
-// lazily before the next read, so bulk loading stays O(n log n).
+// relem is a stored element plus its list-local insertion sequence.
+// The sequence breaks exact (TRS, sealed) ties by insertion order —
+// the order the original stable full-list sort produced — so the
+// per-group decomposition is observationally identical to the old
+// single sorted slice.
+type relem struct {
+	Element
+	seq uint64
+}
+
+// rless is the total order the read path merges by: descending TRS,
+// then sealed bytes, then insertion order. Sequences are unique within
+// a list, so no two of its elements compare equal.
+func rless(a, b relem) bool {
+	if a.TRS != b.TRS {
+		return a.TRS > b.TRS
+	}
+	if c := bytes.Compare(a.Sealed, b.Sealed); c != 0 {
+		return c < 0
+	}
+	return a.seq < b.seq
+}
+
+// mergedList holds one merged posting list as one sorted sub-list per
+// group. Inserts append to the group's pending buffer; a read of that
+// group first folds the buffer in (sort the pending tail, merge two
+// sorted runs) — O(n + p·log p) instead of the old full O(n·log n)
+// re-sort, and only for groups the read actually touches.
 type mergedList struct {
-	elems []Element
-	dirty bool
+	mu      sync.RWMutex
+	groups  map[int]*groupList
+	total   int
+	nextSeq uint64
+}
+
+// groupList is one group's slice of a merged list.
+type groupList struct {
+	sorted  []relem // rless-ordered
+	pending []relem // unsorted recent inserts, folded in on read
+}
+
+// dirty reports whether a read of this group must first fold the
+// pending buffer in.
+func (g *groupList) dirty() bool { return len(g.pending) > 0 }
+
+// compact folds the pending buffer into the sorted run. Callers hold
+// the list's write lock.
+func (g *groupList) compact() {
+	if len(g.pending) == 0 {
+		return
+	}
+	sort.Slice(g.pending, func(i, j int) bool { return rless(g.pending[i], g.pending[j]) })
+	if len(g.sorted) == 0 {
+		g.sorted = g.pending
+		g.pending = nil
+		return
+	}
+	merged := make([]relem, 0, len(g.sorted)+len(g.pending))
+	i, j := 0, 0
+	for i < len(g.sorted) && j < len(g.pending) {
+		if rless(g.pending[j], g.sorted[i]) {
+			merged = append(merged, g.pending[j])
+			j++
+		} else {
+			merged = append(merged, g.sorted[i])
+			i++
+		}
+	}
+	merged = append(merged, g.sorted[i:]...)
+	merged = append(merged, g.pending[j:]...)
+	g.sorted = merged
+	g.pending = nil
 }
 
 // NewMemory creates an empty in-memory backend.
@@ -118,141 +221,350 @@ func NewMemory() *Memory {
 // Name implements Backend.
 func (m *Memory) Name() string { return "memory" }
 
-// Insert implements Backend. It never fails.
-func (m *Memory) Insert(list zerber.ListID, el Element) error {
+// list returns the merged list, creating it when create is set.
+func (m *Memory) list(id zerber.ListID, create bool) *mergedList {
+	m.mu.RLock()
+	ml := m.lists[id]
+	m.mu.RUnlock()
+	if ml != nil || !create {
+		return ml
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.insertLocked(list, el)
+	if ml = m.lists[id]; ml == nil {
+		ml = &mergedList{groups: make(map[int]*groupList)}
+		m.lists[id] = ml
+	}
+	return ml
+}
+
+// Insert implements Backend. It never fails.
+func (m *Memory) Insert(list zerber.ListID, el Element) error {
+	m.insert(list, el)
 	return nil
 }
 
-func (m *Memory) insertLocked(list zerber.ListID, el Element) {
-	ml := m.lists[list]
-	if ml == nil {
-		ml = &mergedList{}
-		m.lists[list] = ml
+// insert appends the element to its group's pending buffer — O(1); the
+// sort debt is paid by the next read of that group, as one merge of
+// two sorted runs.
+func (m *Memory) insert(list zerber.ListID, el Element) {
+	ml := m.list(list, true)
+	ml.mu.Lock()
+	g := ml.groups[el.Group]
+	if g == nil {
+		g = &groupList{}
+		ml.groups[el.Group] = g
 	}
-	ml.elems = append(ml.elems, el)
-	ml.dirty = true
+	g.pending = append(g.pending, relem{Element: el, seq: ml.nextSeq})
+	ml.nextSeq++
+	ml.total++
+	ml.mu.Unlock()
 }
 
 // Remove implements Backend. A list emptied by removals stays present
 // (and keeps answering queries with an empty, exhausted view) — the
 // original server semantics.
 func (m *Memory) Remove(list zerber.ListID, sealed []byte, allow func(group int) bool) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	_, err := m.removeLocked(list, sealed, allow)
+	_, err := m.remove(list, sealed, allow)
 	return err
 }
 
-// removeLocked deletes the matching element and returns it so a
-// caller whose follow-up work fails can reinsert it (Durable's WAL
-// rollback).
-func (m *Memory) removeLocked(list zerber.ListID, sealed []byte, allow func(group int) bool) (Element, error) {
-	ml := m.lists[list]
+// remove deletes the rank-first element whose payload matches and
+// returns it so a caller whose follow-up work fails can reinsert it
+// (Durable's WAL rollback). The ACL predicate observes exactly the
+// element that would be removed.
+func (m *Memory) remove(list zerber.ListID, sealed []byte, allow func(group int) bool) (Element, error) {
+	ml := m.list(list, false)
 	if ml == nil {
 		return Element{}, ErrUnknownList
 	}
-	for i, el := range ml.elems {
-		if string(el.Sealed) != string(sealed) {
+	ml.mu.Lock()
+	defer ml.mu.Unlock()
+	// Locate the rank-first match across every group's sorted run and
+	// pending buffer. Within a sorted run the first index match is the
+	// group's earliest; pending buffers are scanned in full.
+	var (
+		bestG   *groupList
+		bestIdx = -1
+		bestPen bool
+		best    relem
+	)
+	consider := func(g *groupList, r relem, idx int, pending bool) {
+		if bestG == nil || rless(r, best) {
+			bestG, bestIdx, bestPen, best = g, idx, pending, r
+		}
+	}
+	for _, g := range ml.groups {
+		for idx, r := range g.sorted {
+			if bytes.Equal(r.Sealed, sealed) {
+				consider(g, r, idx, false)
+				break
+			}
+		}
+		for idx, r := range g.pending {
+			if bytes.Equal(r.Sealed, sealed) {
+				consider(g, r, idx, true)
+			}
+		}
+	}
+	if bestG == nil {
+		return Element{}, ErrNotFound
+	}
+	if allow != nil && !allow(best.Group) {
+		return Element{}, ErrDenied
+	}
+	if bestPen {
+		bestG.pending = append(bestG.pending[:bestIdx], bestG.pending[bestIdx+1:]...)
+	} else {
+		bestG.sorted = append(bestG.sorted[:bestIdx], bestG.sorted[bestIdx+1:]...)
+	}
+	ml.total--
+	return best.Element, nil
+}
+
+// lockSorted takes the list lock with the allowed groups' pending
+// buffers folded in: the read lock when they are already clean, the
+// write lock (compacting) otherwise. It returns the unlock function.
+func (ml *mergedList) lockSorted(allowed map[int]bool) func() {
+	ml.mu.RLock()
+	clean := true
+	for gid, g := range ml.groups {
+		if (allowed == nil || allowed[gid]) && g.dirty() {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return ml.mu.RUnlock
+	}
+	ml.mu.RUnlock()
+	ml.mu.Lock()
+	for gid, g := range ml.groups {
+		if allowed == nil || allowed[gid] {
+			g.compact()
+		}
+	}
+	return ml.mu.Unlock
+}
+
+// Query implements Backend. Out-of-contract arguments are clamped
+// (negative offset reads from the top, like the scan it replaced)
+// rather than trusted into slice arithmetic.
+func (m *Memory) Query(list zerber.ListID, allowed map[int]bool, offset, count int) (QueryResult, error) {
+	if offset < 0 {
+		offset = 0
+	}
+	if count < 0 {
+		count = 0
+	}
+	ml := m.list(list, false)
+	if ml == nil {
+		return QueryResult{}, ErrUnknownList
+	}
+	unlock := ml.lockSorted(allowed)
+	defer unlock()
+	return ml.queryLocked(allowed, offset, count), nil
+}
+
+// queryLocked answers a ranged read over the allowed groups' sorted
+// runs. Callers hold the list lock with those runs compacted.
+func (ml *mergedList) queryLocked(allowed map[int]bool, offset, count int) QueryResult {
+	var lists [][]relem
+	visible := 0
+	for gid, g := range ml.groups {
+		if allowed != nil && !allowed[gid] {
 			continue
 		}
-		if allow != nil && !allow(el.Group) {
-			return Element{}, ErrDenied
+		if len(g.sorted) == 0 {
+			continue
 		}
-		ml.elems = append(ml.elems[:i], ml.elems[i+1:]...)
-		return el, nil
+		lists = append(lists, g.sorted)
+		visible += len(g.sorted)
 	}
-	return Element{}, ErrNotFound
+	// Exhausted iff at most count visible elements remain past offset.
+	// Phrased as a subtraction (both operands are bounded by stored
+	// sizes) so a huge wire-supplied count cannot overflow offset+count.
+	res := QueryResult{Exhausted: visible-offset <= count}
+	if offset >= visible {
+		return res
+	}
+	n := min(count, visible-offset)
+	if len(lists) == 1 {
+		// One allowed group: the filtered view is the run itself.
+		run := lists[0]
+		res.Elements = make([]Element, n)
+		for i := range res.Elements {
+			res.Elements[i] = run[offset+i].Element
+		}
+		return res
+	}
+	// Skip the cursors straight to the offset cut, then merge only the
+	// window: each output element costs one k-wide minimum scan and a
+	// single copy (payloads are aliased, never duplicated).
+	cur := make([]int, len(lists))
+	skipMerged(lists, cur, offset)
+	res.Elements = make([]Element, 0, n)
+	for len(res.Elements) < n {
+		best := -1
+		for i, run := range lists {
+			if cur[i] >= len(run) {
+				continue
+			}
+			if best < 0 || rless(run[cur[i]], lists[best][cur[best]]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		res.Elements = append(res.Elements, lists[best][cur[best]].Element)
+		cur[best]++
+	}
+	return res
 }
 
-// ensureSorted re-sorts a dirty list. Callers must hold the write
-// lock.
-func (ml *mergedList) ensureSorted() {
-	if !ml.dirty {
-		return
+// skipMerged advances the cursors past the first skip elements of the
+// merged view of the runs without visiting them one by one. Each round
+// probes every run with enough elements left at depth step =
+// remaining/active; the run whose probe ranks earliest may skip all
+// step elements at once: at most step-1 elements of each other run can
+// rank before that probe, so its global rank is under remaining and
+// everything skipped stays inside the merged prefix. remaining decays
+// geometrically, so the skip costs O(k²·log offset) comparisons for k
+// runs rather than O(offset).
+func skipMerged(lists [][]relem, cur []int, skip int) {
+	remaining := skip
+	for remaining > 0 {
+		active := 0
+		for i, run := range lists {
+			if cur[i] < len(run) {
+				active++
+			}
+		}
+		if active == 0 {
+			return
+		}
+		step := remaining / active
+		best := -1
+		if step > 1 {
+			for i, run := range lists {
+				if len(run)-cur[i] < step {
+					continue
+				}
+				if best < 0 || rless(run[cur[i]+step-1], lists[best][cur[best]+step-1]) {
+					best = i
+				}
+			}
+		}
+		if best >= 0 {
+			cur[best] += step
+			remaining -= step
+			continue
+		}
+		// Tail (or no run has step elements left): pop the earliest
+		// head.
+		for i, run := range lists {
+			if cur[i] >= len(run) {
+				continue
+			}
+			if best < 0 || rless(run[cur[i]], lists[best][cur[best]]) {
+				best = i
+			}
+		}
+		cur[best]++
+		remaining--
 	}
-	sort.SliceStable(ml.elems, func(i, j int) bool { return Less(ml.elems[i], ml.elems[j]) })
-	ml.dirty = false
 }
 
-// View implements Backend, upgrading to the write lock only when the
-// list needs re-sorting.
+// View implements Backend: it materializes the full merged list in
+// rank order. Ranged reads should use Query; View remains for the
+// whole-list paths (snapshot encoding, remove pre-flights, the
+// adversary's view).
 func (m *Memory) View(list zerber.ListID, fn func(elems []Element)) error {
-	m.mu.RLock()
-	ml := m.lists[list]
-	if ml == nil {
-		m.mu.RUnlock()
-		return ErrUnknownList
-	}
-	if !ml.dirty {
-		defer m.mu.RUnlock()
-		fn(ml.elems)
-		return nil
-	}
-	m.mu.RUnlock()
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ml = m.lists[list]
+	ml := m.list(list, false)
 	if ml == nil {
 		return ErrUnknownList
 	}
-	ml.ensureSorted()
-	fn(ml.elems)
+	unlock := ml.lockSorted(nil)
+	defer unlock()
+	res := ml.queryLocked(nil, 0, ml.total+1)
+	fn(res.Elements)
 	return nil
 }
 
 // Len implements Backend.
-func (m *Memory) Len(list zerber.ListID) int {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	if ml := m.lists[list]; ml != nil {
-		return len(ml.elems)
+func (m *Memory) Len(list zerber.ListID) (int, error) {
+	ml := m.list(list, false)
+	if ml == nil {
+		return 0, nil
 	}
-	return 0
+	ml.mu.RLock()
+	defer ml.mu.RUnlock()
+	return ml.total, nil
 }
 
 // Lists implements Backend.
-func (m *Memory) Lists() []zerber.ListID {
+func (m *Memory) Lists() ([]zerber.ListID, error) {
 	m.mu.RLock()
-	defer m.mu.RUnlock()
 	out := make([]zerber.ListID, 0, len(m.lists))
 	for id := range m.lists {
 		out = append(out, id)
 	}
+	m.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return out, nil
 }
 
 // NumLists implements Backend.
-func (m *Memory) NumLists() int {
+func (m *Memory) NumLists() (int, error) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	return len(m.lists)
+	return len(m.lists), nil
 }
 
 // NumElements implements Backend.
-func (m *Memory) NumElements() int {
+func (m *Memory) NumElements() (int, error) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	n := 0
 	for _, ml := range m.lists {
-		n += len(ml.elems)
+		ml.mu.RLock()
+		n += ml.total
+		ml.mu.RUnlock()
 	}
-	return n
+	return n, nil
 }
 
 // Close implements Backend. Memory holds no external resources.
 func (m *Memory) Close() error { return nil }
 
 // load replaces a list's contents wholesale (snapshot recovery). The
-// elements are assumed already rank-sorted when sorted is true. Empty
-// lists are kept present, mirroring live state after removals.
+// elements are assumed already rank-sorted when sorted is true — their
+// slice order then becomes the tie-breaking insertion order, exactly
+// what the stable sort that produced the snapshot encoded. Empty lists
+// are kept present, mirroring live state after removals.
 func (m *Memory) load(list zerber.ListID, elems []Element, sorted bool) {
+	ml := &mergedList{groups: make(map[int]*groupList)}
+	for _, el := range elems {
+		g := ml.groups[el.Group]
+		if g == nil {
+			g = &groupList{}
+			ml.groups[el.Group] = g
+		}
+		r := relem{Element: el, seq: ml.nextSeq}
+		if sorted {
+			// A group's subsequence of a rank-sorted slice is itself
+			// sorted under rless (sequences ascend with slice order).
+			g.sorted = append(g.sorted, r)
+		} else {
+			g.pending = append(g.pending, r)
+		}
+		ml.nextSeq++
+		ml.total++
+	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.lists[list] = &mergedList{elems: elems, dirty: !sorted && len(elems) > 0}
+	m.lists[list] = ml
+	m.mu.Unlock()
 }
 
 var _ Backend = (*Memory)(nil)

@@ -25,11 +25,50 @@ func el(payload string, trs float64, group int) Element {
 	return Element{Sealed: []byte(payload), TRS: trs, Group: group}
 }
 
+// mustLen, mustLists, mustNumLists and mustNumElements unwrap the
+// error-returning stats reads for tests running against live (never
+// closed) backends.
+func mustLen(t *testing.T, b Backend, id zerber.ListID) int {
+	t.Helper()
+	n, err := b.Len(id)
+	if err != nil {
+		t.Fatalf("Len(%d): %v", id, err)
+	}
+	return n
+}
+
+func mustLists(t *testing.T, b Backend) []zerber.ListID {
+	t.Helper()
+	ids, err := b.Lists()
+	if err != nil {
+		t.Fatalf("Lists: %v", err)
+	}
+	return ids
+}
+
+func mustNumLists(t *testing.T, b Backend) int {
+	t.Helper()
+	n, err := b.NumLists()
+	if err != nil {
+		t.Fatalf("NumLists: %v", err)
+	}
+	return n
+}
+
+func mustNumElements(t *testing.T, b Backend) int {
+	t.Helper()
+	n, err := b.NumElements()
+	if err != nil {
+		t.Fatalf("NumElements: %v", err)
+	}
+	return n
+}
+
 // dump extracts the full ranked state of a backend for comparison.
 func dump(t *testing.T, b Backend) map[zerber.ListID][]Element {
 	t.Helper()
 	out := make(map[zerber.ListID][]Element)
-	for _, id := range b.Lists() {
+	for _, id := range mustLists(t, b) {
 		if err := b.View(id, func(elems []Element) {
 			cp := make([]Element, len(elems))
 			for i, e := range elems {
@@ -65,8 +104,8 @@ func TestBackendInsertViewRankOrder(t *testing.T) {
 			if !reflect.DeepEqual(got, want) {
 				t.Fatalf("rank order %v, want %v", got, want)
 			}
-			if b.Len(7) != 4 || b.NumLists() != 1 || b.NumElements() != 4 {
-				t.Fatalf("Len=%d NumLists=%d NumElements=%d", b.Len(7), b.NumLists(), b.NumElements())
+			if mustLen(t, b, 7) != 4 || mustNumLists(t, b) != 1 || mustNumElements(t, b) != 4 {
+				t.Fatalf("Len=%d NumLists=%d NumElements=%d", mustLen(t, b, 7), mustNumLists(t, b), mustNumElements(t, b))
 			}
 		})
 	}
@@ -91,7 +130,7 @@ func TestBackendRemove(t *testing.T) {
 			if denied != 5 {
 				t.Fatalf("allow saw group %d, want 5", denied)
 			}
-			if b.Len(1) != 1 {
+			if mustLen(t, b, 1) != 1 {
 				t.Fatal("denied remove must not delete")
 			}
 			if err := b.Remove(1, []byte("x"), func(g int) bool { return g == 5 }); err != nil {
@@ -99,8 +138,8 @@ func TestBackendRemove(t *testing.T) {
 			}
 			// The emptied list stays known (seed server semantics: a
 			// query gets an empty exhausted view, not unknown-list).
-			if b.NumLists() != 1 || b.Len(1) != 0 {
-				t.Fatalf("after remove: NumLists=%d Len=%d", b.NumLists(), b.Len(1))
+			if mustNumLists(t, b) != 1 || mustLen(t, b, 1) != 0 {
+				t.Fatalf("after remove: NumLists=%d Len=%d", mustNumLists(t, b), mustLen(t, b, 1))
 			}
 			viewed := false
 			if err := b.View(1, func(elems []Element) { viewed = len(elems) == 0 }); err != nil || !viewed {
@@ -119,7 +158,7 @@ func TestBackendLists(t *testing.T) {
 				}
 			}
 			want := []zerber.ListID{2, 5, 9}
-			if got := b.Lists(); !reflect.DeepEqual(got, want) {
+			if got := mustLists(t, b); !reflect.DeepEqual(got, want) {
 				t.Fatalf("Lists() = %v, want %v", got, want)
 			}
 		})
@@ -143,7 +182,7 @@ func TestBackendConcurrentAccess(t *testing.T) {
 				go func() {
 					for i := 0; i < 50; i++ {
 						_ = b.View(0, func([]Element) {})
-						b.NumElements()
+						_, _ = b.NumElements()
 					}
 					done <- nil
 				}()
@@ -153,7 +192,7 @@ func TestBackendConcurrentAccess(t *testing.T) {
 					t.Fatal(err)
 				}
 			}
-			if n := b.NumElements(); n != 200 {
+			if n := mustNumElements(t, b); n != 200 {
 				t.Fatalf("NumElements = %d, want 200", n)
 			}
 		})
