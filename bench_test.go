@@ -9,6 +9,7 @@ package zerberr_test
 // larger scales.
 
 import (
+	"context"
 	"fmt"
 	"net/http/httptest"
 	"sync"
@@ -215,7 +216,7 @@ func BenchmarkIndexDocument(b *testing.B) {
 			Length: doc.Length,
 			TF:     doc.TF,
 		}
-		if err := cl.IndexDocument(d, d.Group); err != nil {
+		if err := cl.IndexDocument(context.Background(), d, d.Group); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -245,7 +246,7 @@ func BenchmarkSearchSerialVsBatched(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if err := remote.Login("bench-searcher"); err != nil {
+	if err := remote.Login(context.Background(), "bench-searcher"); err != nil {
 		b.Fatal(err)
 	}
 	terms := sys.Corpus.TermsByDF()
@@ -258,9 +259,13 @@ func BenchmarkSearchSerialVsBatched(b *testing.B) {
 		search func([]corpus.TermID, int) ([]rank.Result, client.QueryStats, error)
 	}{
 		{"inproc/serial", local.SearchSerial},
-		{"inproc/batched", local.Search},
+		{"inproc/batched", func(terms []corpus.TermID, k int) ([]rank.Result, client.QueryStats, error) {
+			return local.Search(context.Background(), terms, k)
+		}},
 		{"http/serial", remote.SearchSerial},
-		{"http/batched", remote.Search},
+		{"http/batched", func(terms []corpus.TermID, k int) ([]rank.Result, client.QueryStats, error) {
+			return remote.Search(context.Background(), terms, k)
+		}},
 	}
 	for _, p := range paths {
 		b.Run(p.name, func(b *testing.B) {

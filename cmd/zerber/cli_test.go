@@ -5,6 +5,7 @@ package main
 // deployment story of the two binaries.
 
 import (
+	"context"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -56,7 +57,7 @@ func TestCLIEndToEnd(t *testing.T) {
 	defer ts.Close()
 
 	// zerber index
-	cmdIndex([]string{
+	cmdIndex(context.Background(), []string{
 		"-docs", docsDir, "-artifacts", artDir,
 		"-server", ts.URL, "-user", "john", "-pass", "hunter2", "-groups", "2",
 	})
@@ -71,7 +72,7 @@ func TestCLIEndToEnd(t *testing.T) {
 	if !ok {
 		t.Fatal("vocab lost the term 'pressure'")
 	}
-	results, stats, err := cl.Search([]corpus.TermID{id}, 3)
+	results, stats, err := cl.Search(context.Background(), []corpus.TermID{id}, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func newClientForTest(t *testing.T, art artifacts, serverURL, user, pass string,
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.Login(user); err != nil {
+	if err := cl.Login(context.Background(), user); err != nil {
 		t.Fatal(err)
 	}
 	return cl

@@ -13,7 +13,10 @@
 // index uploads each document's posting elements as one batched
 // /v2/insert; query drives all terms' follow-up loops over batched
 // /v2/query round-trips (-serial falls back to the one-request-per-
-// list v1 protocol); status prints the server's /v2/stats view.
+// list v1 protocol, -stream prints the provisional top-k after every
+// round); status prints the server's /v2/stats view. Every command
+// runs under a signal-bound context: ^C cancels in-flight requests
+// instead of abandoning them server-side.
 //
 // Documents are .txt files; the immediate subdirectory of -docs names
 // the collaboration group (docs/<group>/<file>.txt; files directly in
@@ -22,18 +25,22 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
+	"syscall"
 
 	"zerberr/internal/client"
 	"zerberr/internal/corpus"
 	"zerberr/internal/crypt"
+	"zerberr/internal/rank"
 	"zerberr/internal/rstf"
 	"zerberr/internal/zerber"
 )
@@ -44,15 +51,17 @@ func main() {
 	if len(os.Args) < 2 {
 		usage()
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	switch os.Args[1] {
 	case "init":
 		cmdInit(os.Args[2:])
 	case "index":
-		cmdIndex(os.Args[2:])
+		cmdIndex(ctx, os.Args[2:])
 	case "query":
-		cmdQuery(os.Args[2:])
+		cmdQuery(ctx, os.Args[2:])
 	case "status":
-		cmdStatus(os.Args[2:])
+		cmdStatus(ctx, os.Args[2:])
 	default:
 		usage()
 	}
@@ -209,7 +218,7 @@ func groupPassphrase(pass string, g int) string {
 	return fmt.Sprintf("%s/group%d", pass, g)
 }
 
-func newClient(art artifacts, serverURL, user, pass string, groups int) *client.Client {
+func newClient(ctx context.Context, art artifacts, serverURL, user, pass string, groups int) *client.Client {
 	keys := map[int]crypt.GroupKey{}
 	for g := 0; g < groups; g++ {
 		keys[g] = crypt.KeyFromPassphrase(groupPassphrase(pass, g))
@@ -222,13 +231,13 @@ func newClient(art artifacts, serverURL, user, pass string, groups int) *client.
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := cl.Login(user); err != nil {
+	if err := cl.Login(ctx, user); err != nil {
 		log.Fatalf("login: %v", err)
 	}
 	return cl
 }
 
-func cmdIndex(args []string) {
+func cmdIndex(ctx context.Context, args []string) {
 	fs := flag.NewFlagSet("index", flag.ExitOnError)
 	docs := fs.String("docs", "", "directory of documents to index (required)")
 	artDir := fs.String("artifacts", "artifacts", "artifact directory from 'zerber init'")
@@ -246,16 +255,16 @@ func cmdIndex(args []string) {
 	}
 	c := corpus.Ingest(raws, nil)
 	art := loadArtifacts(*artDir)
-	cl := newClient(art, *serverURL, *user, *pass, *groups)
+	cl := newClient(ctx, art, *serverURL, *user, *pass, *groups)
 	for i, d := range c.Docs {
-		if err := cl.IndexDocument(d, d.Group); err != nil {
+		if err := cl.IndexDocument(ctx, d, d.Group); err != nil {
 			log.Fatalf("indexing %s: %v", names[i], err)
 		}
 	}
 	log.Printf("indexed %d documents", c.NumDocs())
 }
 
-func cmdQuery(args []string) {
+func cmdQuery(ctx context.Context, args []string) {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	artDir := fs.String("artifacts", "artifacts", "artifact directory from 'zerber init'")
 	serverURL := fs.String("server", "http://localhost:8021", "index server URL")
@@ -264,13 +273,20 @@ func cmdQuery(args []string) {
 	groups := fs.Int("groups", 16, "number of group keys to derive")
 	k := fs.Int("k", 10, "number of results")
 	serial := fs.Bool("serial", false, "use the serial v1 protocol (one round-trip per list request)")
+	stream := fs.Bool("stream", false, "print the provisional top-k after every protocol round")
+	timeout := fs.Duration("timeout", 0, "overall query deadline (0 = none)")
 	_ = fs.Parse(args)
 	terms := fs.Args()
 	if *user == "" || *pass == "" || len(terms) == 0 {
 		log.Fatal("query: -user, -pass and at least one query term are required")
 	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	art := loadArtifacts(*artDir)
-	cl := newClient(art, *serverURL, *user, *pass, *groups)
+	cl := newClient(ctx, art, *serverURL, *user, *pass, *groups)
 	var ids []corpus.TermID
 	for _, term := range terms {
 		id, ok := art.vocab[strings.ToLower(term)]
@@ -283,13 +299,35 @@ func cmdQuery(args []string) {
 	if len(ids) == 0 {
 		log.Fatal("no known query terms")
 	}
-	search := cl.Search
+	var opts []client.SearchOption
 	if *serial {
-		search = cl.SearchSerial
+		opts = append(opts, client.WithSerial())
 	}
-	results, stats, err := search(ids, *k)
-	if err != nil {
-		log.Fatal(err)
+	var results []rank.Result
+	var stats client.QueryStats
+	if *stream {
+		round := 0
+		for snap, err := range cl.SearchStream(ctx, ids, *k, opts...) {
+			if err != nil {
+				log.Fatal(err)
+			}
+			round++
+			top := snap.Results
+			if len(top) > 3 && !snap.Final {
+				top = top[:3]
+			}
+			fmt.Printf("round %d (%d elements so far):\n", round, snap.Stats.Elements)
+			for i, r := range top {
+				fmt.Printf("   %2d. doc %-8d score %.6f\n", i+1, r.Doc, r.Score)
+			}
+			results, stats = snap.Results, snap.Stats
+		}
+	} else {
+		var err error
+		results, stats, err = cl.Search(ctx, ids, *k, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	sort.SliceStable(results, func(i, j int) bool { return results[i].Score > results[j].Score })
 	for rank, r := range results {
@@ -299,11 +337,11 @@ func cmdQuery(args []string) {
 		stats.Rounds, stats.Requests, stats.Elements, stats.Bytes)
 }
 
-func cmdStatus(args []string) {
+func cmdStatus(ctx context.Context, args []string) {
 	fs := flag.NewFlagSet("status", flag.ExitOnError)
 	serverURL := fs.String("server", "http://localhost:8021", "index server URL")
 	_ = fs.Parse(args)
-	st, err := client.HTTP{BaseURL: *serverURL}.Stats()
+	st, err := client.HTTP{BaseURL: *serverURL}.Stats(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -25,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -105,10 +106,17 @@ func main() {
 		log.Printf("registered user %q for groups %v", name, groups)
 	}
 
+	// serveCtx is the base context of every request. Shutdown drains
+	// in-flight queries gracefully; if the drain deadline passes,
+	// canceling serveCtx aborts whatever is still running (the HTTP
+	// handlers thread request contexts down to the store reads).
+	serveCtx, cancelServe := context.WithCancel(context.Background())
+	defer cancelServe()
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return serveCtx },
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -131,7 +139,13 @@ func main() {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("http shutdown: %v", err)
+		// Drain deadline passed: cancel the in-flight queries' base
+		// context and close their connections instead of waiting.
+		log.Printf("http shutdown: %v (canceling in-flight requests)", err)
+		cancelServe()
+		if err := httpSrv.Close(); err != nil {
+			log.Printf("http close: %v", err)
+		}
 	}
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("serve: %v", err)

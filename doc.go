@@ -31,7 +31,11 @@
 //     upload them as one batched insert) and execute queries
 //     (decrypt, filter, follow-up requests with doubling response
 //     sizes — all terms' follow-up loops driven as one state machine
-//     over the batched transport).
+//     over the batched transport). The API is context-first (v3):
+//     every operation takes a context.Context, cancellation and
+//     deadlines propagate through every layer down to in-flight HTTP
+//     requests, and SearchStream exposes the progressive protocol as
+//     an iterator yielding the provisional top-k after every round.
 //   - Offline initialization (this package's Setup): trains the
 //     relevance score transformation functions on a sample corpus
 //     (internal/rstf), builds the r-confidential merge plan
@@ -47,8 +51,14 @@
 //	sys, err := zerberr.Setup(c, zerberr.DefaultConfig())
 //	...
 //	cl, err := sys.NewClient("john", 0, 1) // groups 0 and 1
-//	results, stats, err := cl.TopK(termID, 10)
+//	results, stats, err := cl.Search(ctx, []corpus.TermID{termID}, 10)
 //
-// See examples/quickstart for a complete runnable program and
-// DESIGN.md for the paper-to-package map.
+// or, consuming the evolving top-k as protocol rounds complete:
+//
+//	for snap, err := range cl.SearchStream(ctx, terms, 10) {
+//		...render snap.Results; break to stop early...
+//	}
+//
+// See examples/quickstart and examples/streaming for complete
+// runnable programs and DESIGN.md for the paper-to-package map.
 package zerberr

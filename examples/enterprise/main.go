@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -51,7 +52,7 @@ func main() {
 	term := c.TermsByDF()[40]
 	fmt.Printf("query term: %q (df=%d across all projects)\n\n", c.Term(term), c.DF(term))
 
-	jr, jstats, err := john.TopK(term, 10)
+	jr, jstats, err := john.Search(context.Background(), []corpus.TermID{term}, 10)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func main() {
 			i+1, r.Doc, projects[c.Doc(r.Doc).Group], r.Score)
 	}
 
-	dr, _, err := dana.TopK(term, 10)
+	dr, _, err := dana.Search(context.Background(), []corpus.TermID{term}, 10)
 	if err != nil {
 		log.Fatal(err)
 	}

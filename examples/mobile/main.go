@@ -7,10 +7,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	zerberr "zerberr"
+	"zerberr/internal/client"
 	"zerberr/internal/corpus"
 	"zerberr/internal/crypt"
 	"zerberr/internal/workload"
@@ -53,7 +55,8 @@ func main() {
 	for _, b := range []int{1, 5, 10, 20, 50} {
 		var reqs, elems, bytes int
 		for _, term := range stream {
-			_, st, err := cl.TopKWithInitial(term, k, b)
+			_, st, err := cl.Search(context.Background(), []corpus.TermID{term}, k,
+				client.WithSerial(), client.WithInitialResponse(b))
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -69,7 +72,8 @@ func main() {
 	// Section 6.6 accounting at the paper's recommended b = k.
 	var totalBytes int
 	for _, term := range stream {
-		_, st, err := cl.TopKWithInitial(term, k, 10)
+		_, st, err := cl.Search(context.Background(), []corpus.TermID{term}, k,
+			client.WithSerial(), client.WithInitialResponse(10))
 		if err != nil {
 			log.Fatal(err)
 		}

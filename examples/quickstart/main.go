@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -55,7 +56,7 @@ func main() {
 		log.Fatal(err)
 	}
 	term := c.TermsByDF()[25]
-	results, stats, err := cl.TopK(term, 10)
+	results, stats, err := cl.Search(context.Background(), []corpus.TermID{term}, 10)
 	if err != nil {
 		log.Fatal(err)
 	}

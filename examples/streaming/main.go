@@ -1,0 +1,85 @@
+// Streaming: the progressive protocol of Section 5.2 made visible.
+// A multi-term query runs over SearchStream with a tiny initial
+// response size, so the top-k takes several batched rounds to settle
+// — each snapshot prints the provisional ranking as it firms up, the
+// way an interactive search UI would render results while follow-up
+// requests are still in flight.
+//
+// The same stream also demonstrates the two v3 control points: the
+// context (a deadline or cancel aborts the query between rounds, even
+// mid-request over HTTP) and early exit (breaking out of the range
+// stops issuing follow-up round-trips — shown here by a second query
+// that settles for the first provisional answer).
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	zerberr "zerberr"
+	"zerberr/internal/client"
+	"zerberr/internal/corpus"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	profile := corpus.ProfileStudIP()
+	profile.NumDocs = 600
+	profile.VocabSize = 6000
+	c := corpus.Generate(profile, 21)
+
+	cfg := zerberr.DefaultConfig()
+	cfg.Seed = 21
+	cfg.SkipBaseline = true
+	sys, err := zerberr.Setup(c, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.IndexAll(); err != nil {
+		log.Fatal(err)
+	}
+	cl, err := sys.NewClient("john")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two mid-frequency terms force real follow-up rounds; b=1 makes
+	// the doubling schedule (1, 2, 4, …) take its time.
+	terms := []corpus.TermID{c.TermsByDF()[30], c.TermsByDF()[45]}
+	fmt.Printf("streaming top-5 for %q + %q:\n\n", c.Term(terms[0]), c.Term(terms[1]))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	round := 0
+	for snap, err := range cl.SearchStream(ctx, terms, 5, client.WithInitialResponse(1)) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		round++
+		state := "provisional"
+		if snap.Final {
+			state = "final"
+		}
+		fmt.Printf("round %d (%s, %d elements, %d requests so far):\n",
+			round, state, snap.Stats.Elements, snap.Stats.Requests)
+		for i, r := range snap.Results {
+			fmt.Printf("  %d. doc %-6d score %.5f\n", i+1, r.Doc, r.Score)
+		}
+	}
+
+	// A hurried caller takes the first snapshot and walks away; the
+	// break stops the protocol — no further round-trips are issued.
+	first := 0
+	for snap, err := range cl.SearchStream(ctx, terms, 5, client.WithInitialResponse(1)) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		first = len(snap.Results)
+		break
+	}
+	fmt.Printf("\nimpatient caller stopped after round 1 with %d provisional results\n", first)
+}

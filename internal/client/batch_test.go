@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -46,7 +47,7 @@ func TestSearchBatchedMatchesSerial(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		batchedRes, batchedStats, err := h.cl.Search(q, 10)
+		batchedRes, batchedStats, err := h.cl.Search(context.Background(), q, 10)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -88,15 +89,15 @@ func TestSearchBatchedOverHTTP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := remote.Login("writer"); err != nil {
+	if err := remote.Login(context.Background(), "writer"); err != nil {
 		t.Fatal(err)
 	}
 	for qi, q := range multiTermQueries(h) {
-		localRes, localStats, err := h.cl.Search(q, 10)
+		localRes, localStats, err := h.cl.Search(context.Background(), q, 10)
 		if err != nil {
 			t.Fatal(err)
 		}
-		remoteRes, remoteStats, err := remote.Search(q, 10)
+		remoteRes, remoteStats, err := remote.Search(context.Background(), q, 10)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -136,15 +137,15 @@ func TestExpiredTokenMapsThroughHTTP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := remote.Login("writer"); err != nil {
+	if err := remote.Login(context.Background(), "writer"); err != nil {
 		t.Fatal(err)
 	}
 	h.srv.SetClock(func() time.Time { return time.Now().Add(2 * time.Hour) })
 	defer h.srv.SetClock(time.Now)
 
 	term := h.c.TermsByDF()[0]
-	_, _, remoteErr := remote.Search([]corpus.TermID{term}, 10)
-	_, _, localErr := h.cl.Search([]corpus.TermID{term}, 10)
+	_, _, remoteErr := remote.Search(context.Background(), []corpus.TermID{term}, 10)
+	_, _, localErr := h.cl.Search(context.Background(), []corpus.TermID{term}, 10)
 	for name, err := range map[string]error{"remote": remoteErr, "local": localErr} {
 		if !errors.Is(err, server.ErrAuth) {
 			t.Errorf("%s expired-token err = %v, want ErrAuth", name, err)
@@ -161,13 +162,13 @@ func TestBatchErrorIndexThroughHTTP(t *testing.T) {
 	h := newHarness(t, crypt.GCMCodec{}, 33)
 	ts := newTestHTTP(t, h)
 	defer ts.Close()
-	toks, err := h.srv.Login("writer")
+	toks, err := h.srv.Login(context.Background(), "writer")
 	if err != nil {
 		t.Fatal(err)
 	}
 	tr := HTTP{BaseURL: ts.URL}
 	before := h.srv.NumElements()
-	err = tr.InsertBatch(toks[0], []server.InsertOp{
+	err = tr.InsertBatch(context.Background(), toks[0], []server.InsertOp{
 		{List: 1, Element: server.StoredElement{Sealed: []byte{1}, TRS: 0.5, Group: toks[0].Group}},
 		{List: 1, Element: server.StoredElement{Sealed: []byte{2}, TRS: 0.5, Group: 4242}},
 	})

@@ -4,16 +4,21 @@
 // keys) and executes top-k queries with the progressive follow-up
 // protocol, decrypting and filtering responses locally.
 //
-// Queries run over either protocol generation of the Transport: the
-// serial v1 path issues one round-trip per list per follow-up round,
-// while Search drives every term's follow-up loop as one state
+// The API is context-first (v3): every operation takes a
+// context.Context and long operations are cancelable between
+// round-trips. Search is the one query entrypoint — functional
+// options select the serial v1 path, the initial response size and
+// strict top-k — and SearchStream exposes the progressive protocol
+// itself, yielding the provisional top-k after every round. By
+// default a query drives every term's follow-up loop as one state
 // machine over the batched v2 path, so a multi-term query costs
 // O(max follow-up rounds) round-trips instead of O(Σ per-term
-// requests). Both paths share the same per-term stopping logic
-// (termScan) and therefore return identical results.
+// requests); the serial path shares the same per-term stopping logic
+// (termScan) and therefore returns identical results.
 package client
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -76,14 +81,6 @@ type QueryStats struct {
 	Exhausted bool
 }
 
-// add folds the cost of a sub-query's stats into the total.
-func (s *QueryStats) add(o QueryStats) {
-	s.Requests += o.Requests
-	s.Rounds += o.Rounds
-	s.Elements += o.Elements
-	s.Bytes += o.Bytes
-}
-
 // Client is a Zerber+R user agent. It is not safe for concurrent use.
 type Client struct {
 	t      Transport
@@ -119,8 +116,8 @@ func New(t Transport, cfg Config) (*Client, error) {
 
 // Login authenticates against the index server and caches the issued
 // group tokens.
-func (c *Client) Login(user string) error {
-	toks, err := c.t.Login(user)
+func (c *Client) Login(ctx context.Context, user string) error {
+	toks, err := c.t.Login(ctx, user)
 	if err != nil {
 		return err
 	}
@@ -155,7 +152,11 @@ func (c *Client) ListFor(term corpus.TermID) zerber.ListID {
 // server validates each batch as a unit, so for documents within the
 // batch cap (all but those with >server.MaxBatchOps distinct terms) a
 // rejected element means nothing of the document was indexed.
-func (c *Client) IndexDocument(d *corpus.Document, group int) error {
+//
+// Cancellation is honored between batched round-trips; a canceled
+// context can leave a many-term document partially indexed (earlier
+// chunks applied).
+func (c *Client) IndexDocument(ctx context.Context, d *corpus.Document, group int) error {
 	if c.tokens == nil {
 		return ErrNotLoggedIn
 	}
@@ -186,8 +187,11 @@ func (c *Client) IndexDocument(d *corpus.Document, group int) error {
 	// One round-trip per document in practice; documents with more
 	// terms than the server's batch cap are split.
 	for start := 0; start < len(ops); start += server.MaxBatchOps {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		end := min(start+server.MaxBatchOps, len(ops))
-		if err := c.t.InsertBatch(tok, ops[start:end]); err != nil {
+		if err := c.t.InsertBatch(ctx, tok, ops[start:end]); err != nil {
 			return fmt.Errorf("client: inserting elements %d-%d of %d: %w", start, end-1, len(ops), err)
 		}
 	}
@@ -198,12 +202,15 @@ func (c *Client) IndexDocument(d *corpus.Document, group int) error {
 // server's batch cap (each chunk is its own round-trip). Returns the
 // responses in query order, the measured wire bytes (0 in process)
 // and the number of round-trips taken.
-func (c *Client) queryBatchChunked(queries []server.ListQuery) ([]server.QueryResponse, int, int, error) {
+func (c *Client) queryBatchChunked(ctx context.Context, queries []server.ListQuery) ([]server.QueryResponse, int, int, error) {
 	resps := make([]server.QueryResponse, 0, len(queries))
 	wireBytes, rounds := 0, 0
 	for start := 0; start < len(queries); start += server.MaxBatchOps {
+		if err := ctx.Err(); err != nil {
+			return nil, wireBytes, rounds, err
+		}
 		end := min(start+server.MaxBatchOps, len(queries))
-		res, err := c.t.QueryBatch(c.tokens, queries[start:end])
+		res, err := c.t.QueryBatch(ctx, c.tokens, queries[start:end])
 		if err != nil {
 			return nil, wireBytes, rounds, err
 		}
@@ -212,58 +219,6 @@ func (c *Client) queryBatchChunked(queries []server.ListQuery) ([]server.QueryRe
 		resps = append(resps, res.Responses...)
 	}
 	return resps, wireBytes, rounds, nil
-}
-
-// TopK answers a single-term top-k query with the default initial
-// response size.
-func (c *Client) TopK(term corpus.TermID, k int) ([]rank.Result, QueryStats, error) {
-	return c.TopKWithInitial(term, k, c.cfg.InitialResponse)
-}
-
-// TopKWithInitial runs the Section 5.2 protocol over the serial v1
-// path: fetch b elements, decrypt, keep those of the queried term;
-// while the top-k is not yet certain and the list is not exhausted,
-// issue follow-up requests of doubling size (b, 2b, 4b, … —
-// Equation 12).
-//
-// The RSTF is monotone but not strictly so: distinct scores can share
-// a TRS (saturation at the range ends, quantization, optional jitter),
-// and tied elements appear in arbitrary order. The client therefore
-// keeps scanning until the list's TRS falls strictly below the TRS of
-// its current k-th best match (minus the configured jitter width) —
-// past that point no unseen element of the term can outscore the
-// collected top-k — and ranks the matches by their decrypted scores.
-func (c *Client) TopKWithInitial(term corpus.TermID, k, b int) ([]rank.Result, QueryStats, error) {
-	var stats QueryStats
-	if c.tokens == nil {
-		return nil, stats, ErrNotLoggedIn
-	}
-	if k <= 0 {
-		return nil, stats, fmt.Errorf("client: k must be positive, got %d", k)
-	}
-	if b <= 0 {
-		b = c.cfg.InitialResponse
-	}
-	scan := c.newTermScan(term, k, b)
-	for !scan.done {
-		resp, wireBytes, err := c.t.Query(c.tokens, scan.list, scan.offset, scan.batch)
-		if err != nil {
-			return nil, stats, err
-		}
-		stats.Requests++
-		stats.Rounds++
-		stats.Elements += len(resp.Elements)
-		if wireBytes > 0 {
-			stats.Bytes += wireBytes
-		} else {
-			stats.Bytes += len(resp.Elements) * c.cfg.Codec.WireSize()
-		}
-		if err := scan.absorb(resp, c.openElement); err != nil {
-			return nil, stats, err
-		}
-	}
-	stats.Exhausted = scan.exhausted
-	return scan.results(), stats, nil
 }
 
 // termScan is the per-term state of the progressive protocol: the
@@ -286,13 +241,13 @@ type termScan struct {
 	exhausted bool
 }
 
-func (c *Client) newTermScan(term corpus.TermID, k, b int) *termScan {
+func (c *Client) newTermScan(term corpus.TermID, k, b int, strict bool) *termScan {
 	return &termScan{
 		term:   term,
 		list:   c.ListFor(term),
 		k:      k,
 		margin: c.cfg.Store.Jitter(),
-		strict: c.cfg.StrictTopK,
+		strict: strict,
 		batch:  b,
 	}
 }
@@ -416,94 +371,6 @@ func (c *Client) openElement(el server.StoredElement) (crypt.Element, error) {
 	return plain, nil
 }
 
-// Search answers a multi-term query (Section 3.2: per-term top-k
-// scores summed per document — IDF-free scoring, a deliberate
-// confidentiality/accuracy trade-off) by driving all terms' follow-up
-// loops as one state machine over the batched v2 transport. Each
-// round issues a single QueryBatch covering every still-open list, so
-// a T-term query costs max(per-term rounds) round-trips, not
-// Σ per-term requests. Results are identical to SearchSerial.
-func (c *Client) Search(terms []corpus.TermID, k int) ([]rank.Result, QueryStats, error) {
-	var total QueryStats
-	if c.tokens == nil {
-		return nil, total, ErrNotLoggedIn
-	}
-	if k <= 0 {
-		return nil, total, fmt.Errorf("client: k must be positive, got %d", k)
-	}
-	terms = uniqueTerms(terms)
-	scans := make([]*termScan, len(terms))
-	for i, term := range terms {
-		scans[i] = c.newTermScan(term, k, c.cfg.InitialResponse)
-	}
-	for {
-		var queries []server.ListQuery
-		var open []int
-		for i, s := range scans {
-			if !s.done {
-				queries = append(queries, s.next())
-				open = append(open, i)
-			}
-		}
-		if len(queries) == 0 {
-			break
-		}
-		resps, wireBytes, rounds, err := c.queryBatchChunked(queries)
-		if err != nil {
-			return nil, total, err
-		}
-		total.Rounds += rounds
-		total.Requests += len(queries)
-		roundElems := 0
-		for j, resp := range resps {
-			roundElems += len(resp.Elements)
-			if err := scans[open[j]].absorb(resp, c.openElement); err != nil {
-				return nil, total, err
-			}
-		}
-		total.Elements += roundElems
-		if wireBytes > 0 {
-			total.Bytes += wireBytes
-		} else {
-			total.Bytes += roundElems * c.cfg.Codec.WireSize()
-		}
-	}
-	acc := make(map[corpus.DocID]float64)
-	exhaustedAll := true
-	for _, s := range scans {
-		if !s.exhausted {
-			exhaustedAll = false
-		}
-		rank.Accumulate(acc, s.results())
-	}
-	total.Exhausted = exhaustedAll
-	return rank.TopK(acc, k), total, nil
-}
-
-// SearchSerial answers the same multi-term query as Search over the
-// serial v1 path: one single-term protocol run per term, each
-// follow-up on its own round-trip. Kept as the compatibility path and
-// as the baseline the round-trip savings of Search are measured
-// against (cmd/zerber-bench -batched).
-func (c *Client) SearchSerial(terms []corpus.TermID, k int) ([]rank.Result, QueryStats, error) {
-	var total QueryStats
-	acc := make(map[corpus.DocID]float64)
-	exhaustedAll := true
-	for _, term := range uniqueTerms(terms) {
-		res, st, err := c.TopK(term, k)
-		total.add(st)
-		if err != nil {
-			return nil, total, err
-		}
-		if !st.Exhausted {
-			exhaustedAll = false
-		}
-		rank.Accumulate(acc, res)
-	}
-	total.Exhausted = exhaustedAll
-	return rank.TopK(acc, k), total, nil
-}
-
 // uniqueTerms drops repeated query terms, keeping first-occurrence
 // order. Section 3.2 scoring sums each document's per-term top-k
 // contribution once per distinct term; without deduplication a
@@ -532,7 +399,12 @@ func uniqueTerms(terms []corpus.TermID) []corpus.TermID {
 // remove (split only past the server's batch cap). Returns the number
 // of elements removed; the server validates each batch as a unit, so
 // a typical document is removed all-or-nothing.
-func (c *Client) DeleteDocument(d *corpus.Document, group int) (int, error) {
+//
+// Cancellation is honored between round-trips. A context canceled
+// during the remove phase can leave the document partially removed
+// (the count reports what was); during the scan phase nothing has
+// been modified yet.
+func (c *Client) DeleteDocument(ctx context.Context, d *corpus.Document, group int) (int, error) {
 	if c.tokens == nil {
 		return 0, ErrNotLoggedIn
 	}
@@ -576,7 +448,7 @@ func (c *Client) DeleteDocument(d *corpus.Document, group int) (int, error) {
 		if len(queries) == 0 {
 			break
 		}
-		resps, _, _, err := c.queryBatchChunked(queries)
+		resps, _, _, err := c.queryBatchChunked(ctx, queries)
 		if err != nil {
 			return 0, err
 		}
@@ -607,8 +479,11 @@ func (c *Client) DeleteDocument(d *corpus.Document, group int) (int, error) {
 	}
 	removed := 0
 	for start := 0; start < len(victims); start += server.MaxBatchOps {
+		if err := ctx.Err(); err != nil {
+			return removed, err
+		}
 		end := min(start+server.MaxBatchOps, len(victims))
-		if err := c.t.RemoveBatch(tok, victims[start:end]); err != nil {
+		if err := c.t.RemoveBatch(ctx, tok, victims[start:end]); err != nil {
 			return removed, err
 		}
 		removed += end - start

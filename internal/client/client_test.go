@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"math"
 	"net/http/httptest"
@@ -58,11 +59,11 @@ func newHarness(t *testing.T, codec crypt.ElementCodec, seed uint64) *harness {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.Login("writer"); err != nil {
+	if err := cl.Login(context.Background(), "writer"); err != nil {
 		t.Fatal(err)
 	}
 	for _, d := range c.Docs {
-		if err := cl.IndexDocument(d, d.Group); err != nil {
+		if err := cl.IndexDocument(context.Background(), d, d.Group); err != nil {
 			t.Fatalf("indexing doc %d: %v", d.ID, err)
 		}
 	}
@@ -166,7 +167,7 @@ func TestSearchMultiTermApproximatesNormTF(t *testing.T) {
 	terms := h.c.TermsByDF()
 	query := []corpus.TermID{terms[2], terms[7], terms[15]}
 	k := 10
-	got, stats, err := h.cl.Search(query, k)
+	got, stats, err := h.cl.Search(context.Background(), query, k)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +187,7 @@ func TestSearchExactWhenKCoversLists(t *testing.T) {
 	// k larger than any df: per-term queries fetch every posting, so
 	// the multi-term result must equal the baseline exactly.
 	k := h.c.NumDocs() + 1
-	got, _, err := h.cl.Search(query, k)
+	got, _, err := h.cl.Search(context.Background(), query, k)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +231,7 @@ func TestACLInvisibleGroups(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := reader.Login("reader"); err != nil {
+	if err := reader.Login(context.Background(), "reader"); err != nil {
 		t.Fatal(err)
 	}
 	term := h.c.TermsByDF()[0]
@@ -262,16 +263,16 @@ func TestIndexRequiresLoginAndKeys(t *testing.T) {
 		t.Fatal(err)
 	}
 	d := h.c.Docs[0]
-	if err := fresh.IndexDocument(d, 0); !errors.Is(err, ErrNotLoggedIn) {
+	if err := fresh.IndexDocument(context.Background(), d, 0); !errors.Is(err, ErrNotLoggedIn) {
 		t.Fatalf("unauthenticated index err = %v", err)
 	}
 	if _, _, err := fresh.TopK(1, 5); !errors.Is(err, ErrNotLoggedIn) {
 		t.Fatalf("unauthenticated query err = %v", err)
 	}
-	if err := fresh.Login("writer"); err != nil {
+	if err := fresh.Login(context.Background(), "writer"); err != nil {
 		t.Fatal(err)
 	}
-	if err := fresh.IndexDocument(d, 99); !errors.Is(err, ErrNoGroupKey) {
+	if err := fresh.IndexDocument(context.Background(), d, 99); !errors.Is(err, ErrNoGroupKey) {
 		t.Fatalf("keyless group err = %v", err)
 	}
 }
@@ -291,11 +292,11 @@ func TestTamperedElementSurfaces(t *testing.T) {
 	evil := snap[0]
 	evil.Sealed[0] ^= 0xff
 	evil.TRS = 1.0 // push to the front
-	toks, err := h.srv.Login("writer")
+	toks, err := h.srv.Login(context.Background(), "writer")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := h.srv.Insert(toks[evil.Group], list, evil); err != nil {
+	if err := h.srv.Insert(context.Background(), toks[evil.Group], list, evil); err != nil {
 		t.Fatal(err)
 	}
 	if _, _, err := h.cl.TopKWithInitial(term, 5, 10); !errors.Is(err, crypt.ErrDecrypt) {
@@ -314,7 +315,7 @@ func TestUnplannedTermsRoundTrip(t *testing.T) {
 		Length: 10,
 		TF:     map[corpus.TermID]int{novel: 3},
 	}
-	if err := h.cl.IndexDocument(d, 0); err != nil {
+	if err := h.cl.IndexDocument(context.Background(), d, 0); err != nil {
 		t.Fatal(err)
 	}
 	got, _, err := h.cl.TopK(novel, 5)
@@ -344,7 +345,7 @@ func TestHTTPTransportEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := remote.Login("writer"); err != nil {
+	if err := remote.Login(context.Background(), "writer"); err != nil {
 		t.Fatal(err)
 	}
 	term := h.c.TermsByDF()[4]
@@ -356,7 +357,7 @@ func TestHTTPTransportEndToEnd(t *testing.T) {
 	if stats.Requests < 1 {
 		t.Fatal("no requests recorded over HTTP")
 	}
-	if err := remote.Login("ghost"); err == nil {
+	if err := remote.Login(context.Background(), "ghost"); err == nil {
 		t.Fatal("HTTP login of unknown user succeeded")
 	}
 }
@@ -382,7 +383,7 @@ func TestSaturatedTRSStillExact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.Login("u"); err != nil {
+	if err := cl.Login(context.Background(), "u"); err != nil {
 		t.Fatal(err)
 	}
 	// Doc scores 0.30, 0.35, ..., all far above the training range.
@@ -392,7 +393,7 @@ func TestSaturatedTRSStillExact(t *testing.T) {
 		tf := int(score * 100)
 		d := &corpus.Document{ID: corpus.DocID(i), Group: 0, Length: 100,
 			TF: map[corpus.TermID]int{1: tf}}
-		if err := cl.IndexDocument(d, 0); err != nil {
+		if err := cl.IndexDocument(context.Background(), d, 0); err != nil {
 			t.Fatal(err)
 		}
 		want = append(want, float64(tf)/100)
@@ -420,7 +421,7 @@ func TestStrictTopKMatchesDefault(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := strict.Login("writer"); err != nil {
+	if err := strict.Login(context.Background(), "writer"); err != nil {
 		t.Fatal(err)
 	}
 	terms := h.c.TermsByDF()

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"net/http/httptest"
 	"reflect"
 	"testing"
@@ -23,7 +24,7 @@ func TestSearchDeduplicatesTerms(t *testing.T) {
 		run  func([]corpus.TermID, int) (interface{}, QueryStats, error)
 	}{
 		{"batched", func(q []corpus.TermID, k int) (interface{}, QueryStats, error) {
-			r, st, err := h.cl.Search(q, k)
+			r, st, err := h.cl.Search(context.Background(), q, k)
 			return r, st, err
 		}},
 		{"serial", func(q []corpus.TermID, k int) (interface{}, QueryStats, error) {
@@ -77,7 +78,7 @@ func TestSerialQueryBytesMeasuredOverHTTP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := remote.Login("writer"); err != nil {
+	if err := remote.Login(context.Background(), "writer"); err != nil {
 		t.Fatal(err)
 	}
 	_, httpStats, err := remote.TopK(term, 10)

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"net/http/httptest"
 	"testing"
@@ -15,7 +16,7 @@ func TestDeleteDocumentRemovesAllElements(t *testing.T) {
 	victim := h.c.Docs[3]
 	want := len(victim.TF)
 	before := h.srv.NumElements()
-	removed, err := h.cl.DeleteDocument(victim, victim.Group)
+	removed, err := h.cl.DeleteDocument(context.Background(), victim, victim.Group)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestDeleteThenReindex(t *testing.T) {
 	// version, query reflects the change.
 	h := newHarness(t, crypt.GCMCodec{}, 21)
 	victim := h.c.Docs[5]
-	if _, err := h.cl.DeleteDocument(victim, victim.Group); err != nil {
+	if _, err := h.cl.DeleteDocument(context.Background(), victim, victim.Group); err != nil {
 		t.Fatal(err)
 	}
 	// New version: one term boosted heavily.
@@ -63,7 +64,7 @@ func TestDeleteThenReindex(t *testing.T) {
 		Length: 10,
 		TF:     map[corpus.TermID]int{someTerm: 10},
 	}
-	if err := h.cl.IndexDocument(updated, updated.Group); err != nil {
+	if err := h.cl.IndexDocument(context.Background(), updated, updated.Group); err != nil {
 		t.Fatal(err)
 	}
 	res, _, err := h.cl.TopKWithInitial(someTerm, 1, 10)
@@ -82,13 +83,13 @@ func TestDeleteRequiresAuthAndKeys(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fresh.DeleteDocument(d, d.Group); !errors.Is(err, ErrNotLoggedIn) {
+	if _, err := fresh.DeleteDocument(context.Background(), d, d.Group); !errors.Is(err, ErrNotLoggedIn) {
 		t.Fatalf("unauthenticated delete err = %v", err)
 	}
-	if err := fresh.Login("writer"); err != nil {
+	if err := fresh.Login(context.Background(), "writer"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fresh.DeleteDocument(d, 99); !errors.Is(err, ErrNoGroupKey) {
+	if _, err := fresh.DeleteDocument(context.Background(), d, 99); !errors.Is(err, ErrNoGroupKey) {
 		t.Fatalf("keyless delete err = %v", err)
 	}
 }
@@ -97,32 +98,32 @@ func TestServerRemoveACL(t *testing.T) {
 	srv := server.New([]byte("s"), 0)
 	srv.RegisterUser("a", 0)
 	srv.RegisterUser("b", 1)
-	aTok, err := srv.Login("a")
+	aTok, err := srv.Login(context.Background(), "a")
 	if err != nil {
 		t.Fatal(err)
 	}
-	bTok, err := srv.Login("b")
+	bTok, err := srv.Login(context.Background(), "b")
 	if err != nil {
 		t.Fatal(err)
 	}
 	el := server.StoredElement{Sealed: []byte("payload"), TRS: 0.5, Group: 0}
-	if err := srv.Insert(aTok[0], 1, el); err != nil {
+	if err := srv.Insert(context.Background(), aTok[0], 1, el); err != nil {
 		t.Fatal(err)
 	}
 	// b cannot remove a's element.
-	if err := srv.Remove(bTok[0], 1, []byte("payload")); !errors.Is(err, server.ErrForbidden) {
+	if err := srv.Remove(context.Background(), bTok[0], 1, []byte("payload")); !errors.Is(err, server.ErrForbidden) {
 		t.Fatalf("cross-group remove err = %v", err)
 	}
 	// Unknown payload.
-	if err := srv.Remove(aTok[0], 1, []byte("nope")); !errors.Is(err, server.ErrNotFound) {
+	if err := srv.Remove(context.Background(), aTok[0], 1, []byte("nope")); !errors.Is(err, server.ErrNotFound) {
 		t.Fatalf("unknown payload err = %v", err)
 	}
 	// Unknown list.
-	if err := srv.Remove(aTok[0], 9, []byte("payload")); !errors.Is(err, server.ErrUnknownList) {
+	if err := srv.Remove(context.Background(), aTok[0], 9, []byte("payload")); !errors.Is(err, server.ErrUnknownList) {
 		t.Fatalf("unknown list err = %v", err)
 	}
 	// Legit removal works and empties the list.
-	if err := srv.Remove(aTok[0], 1, []byte("payload")); err != nil {
+	if err := srv.Remove(context.Background(), aTok[0], 1, []byte("payload")); err != nil {
 		t.Fatal(err)
 	}
 	if srv.ListLen(1) != 0 {
@@ -138,11 +139,11 @@ func TestDeleteOverHTTP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := remote.Login("writer"); err != nil {
+	if err := remote.Login(context.Background(), "writer"); err != nil {
 		t.Fatal(err)
 	}
 	victim := h.c.Docs[7]
-	removed, err := remote.DeleteDocument(victim, victim.Group)
+	removed, err := remote.DeleteDocument(context.Background(), victim, victim.Group)
 	if err != nil {
 		t.Fatal(err)
 	}

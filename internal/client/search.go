@@ -1,0 +1,309 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+
+	"zerberr/internal/corpus"
+	"zerberr/internal/rank"
+	"zerberr/internal/server"
+)
+
+// ErrBadQuery reports a structurally invalid query: k <= 0 or an
+// empty (or nil) term slice. Earlier API generations silently
+// returned empty results for empty term slices; the sentinel makes
+// the caller's bug visible instead.
+var ErrBadQuery = errors.New("client: bad query")
+
+// searchConfig collects the functional options of Search and
+// SearchStream.
+type searchConfig struct {
+	initial int
+	serial  bool
+	strict  bool
+}
+
+// SearchOption customizes one Search or SearchStream call.
+type SearchOption func(*searchConfig)
+
+// WithInitialResponse overrides the initial response size b of the
+// Section 6.4 progressive protocol for this query. b <= 0 falls back
+// to the client's configured default.
+func WithInitialResponse(b int) SearchOption {
+	return func(o *searchConfig) { o.initial = b }
+}
+
+// WithSerial runs the query over the serial v1 protocol: one
+// round-trip per list request, each term's follow-up loop run to
+// completion in turn. It is the compatibility path and the baseline
+// the batched path's round-trip savings are measured against; results
+// are identical either way.
+func WithSerial() SearchOption {
+	return func(o *searchConfig) { o.serial = true }
+}
+
+// WithStrictTopK makes this query provably exact, scanning until the
+// list's TRS falls strictly below the k-th match's TRS (see
+// Config.StrictTopK, which sets the per-client default).
+func WithStrictTopK() SearchOption {
+	return func(o *searchConfig) { o.strict = true }
+}
+
+// Snapshot is one progressive-search observation: the provisional
+// top-k and the cumulative cost after a protocol round. Later
+// snapshots refine earlier ones — documents can enter, leave or
+// reorder as more posting elements arrive, and a document's
+// accumulated score can shrink as well as grow (a better-scored round
+// can push it out of one term's per-term top-k cut, dropping that
+// term's contribution). Only the Final snapshot is authoritative.
+type Snapshot struct {
+	// Results is the top-k over everything decrypted so far, in final
+	// ranking order (descending score, ties by ascending DocID).
+	Results []rank.Result
+	// Stats is the cumulative query cost up to and including this
+	// round.
+	Stats QueryStats
+	// Final marks the last snapshot of the stream: the protocol has
+	// proven no unseen element can change Results, which are
+	// element-identical to what Search returns for the same query.
+	Final bool
+}
+
+// Search answers a multi-term top-k query (Section 3.2: per-term
+// top-k scores summed per document — IDF-free scoring, a deliberate
+// confidentiality/accuracy trade-off). It is the single v3 query
+// entrypoint, consolidating the former TopK / TopKWithInitial /
+// Search / SearchSerial quartet behind functional options.
+//
+// By default all terms' follow-up loops run as one state machine over
+// the batched v2 transport: each round issues a single QueryBatch
+// covering every still-open list, so a T-term query costs
+// max(per-term rounds) round-trips, not Σ per-term requests.
+// WithSerial selects the one-request-per-list v1 path instead;
+// results are identical either way.
+//
+// The context bounds the whole query: cancellation or a deadline is
+// honored between rounds and aborts any in-flight round-trip on
+// transports that perform I/O, returning the context's error.
+func (c *Client) Search(ctx context.Context, terms []corpus.TermID, k int, opts ...SearchOption) ([]rank.Result, QueryStats, error) {
+	var res []rank.Result
+	var stats QueryStats
+	// progressive=false skips the per-round provisional merge: only
+	// the final snapshot is materialized, so the non-streaming path
+	// costs one top-k merge like the pre-v3 entrypoints did.
+	for snap, err := range c.searchStream(ctx, terms, k, false, opts) {
+		if err != nil {
+			return nil, snap.Stats, err
+		}
+		res, stats = snap.Results, snap.Stats
+	}
+	return res, stats, nil
+}
+
+// SearchStream runs the same query as Search but exposes the
+// progressive protocol itself: the sequence yields a Snapshot after
+// every round, so callers can render an evolving top-k instead of
+// blocking on the final merge. The last snapshot has Final set and
+// carries exactly Search's result.
+//
+// Breaking out of the range stops the query — no further follow-up
+// round-trips are issued. On error the sequence yields one (Snapshot,
+// error) pair — the snapshot carrying the cost accumulated so far —
+// and ends; a canceled context surfaces as the context's error.
+//
+// The sequence is single-use and not safe for concurrent iteration.
+func (c *Client) SearchStream(ctx context.Context, terms []corpus.TermID, k int, opts ...SearchOption) iter.Seq2[Snapshot, error] {
+	return c.searchStream(ctx, terms, k, true, opts)
+}
+
+// searchStream is the shared driver behind Search and SearchStream.
+// With progressive=false the per-round provisional merge is skipped
+// and only the final snapshot is yielded — same protocol traffic,
+// one merge instead of one per round.
+func (c *Client) searchStream(ctx context.Context, terms []corpus.TermID, k int, progressive bool, opts []SearchOption) iter.Seq2[Snapshot, error] {
+	var o searchConfig
+	o.strict = c.cfg.StrictTopK
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.initial <= 0 {
+		o.initial = c.cfg.InitialResponse
+	}
+	return func(yield func(Snapshot, error) bool) {
+		var total QueryStats
+		if c.tokens == nil {
+			yield(Snapshot{}, ErrNotLoggedIn)
+			return
+		}
+		if k <= 0 {
+			yield(Snapshot{}, fmt.Errorf("%w: k must be positive, got %d", ErrBadQuery, k))
+			return
+		}
+		terms := uniqueTerms(terms)
+		if len(terms) == 0 {
+			yield(Snapshot{}, fmt.Errorf("%w: no query terms", ErrBadQuery))
+			return
+		}
+		scans := make([]*termScan, len(terms))
+		for i, term := range terms {
+			scans[i] = c.newTermScan(term, k, o.initial, o.strict)
+		}
+		if o.serial {
+			c.streamSerial(ctx, scans, k, progressive, &total, yield)
+		} else {
+			c.streamBatched(ctx, scans, k, progressive, &total, yield)
+		}
+	}
+}
+
+// streamBatched drives every open scan through one QueryBatch per
+// round, yielding a snapshot after each round (progressive) or only
+// once settled, until all scans settle or the consumer breaks.
+func (c *Client) streamBatched(ctx context.Context, scans []*termScan, k int, progressive bool, total *QueryStats, yield func(Snapshot, error) bool) {
+	for {
+		if err := ctx.Err(); err != nil {
+			yield(Snapshot{Stats: *total}, err)
+			return
+		}
+		var queries []server.ListQuery
+		var open []int
+		for i, s := range scans {
+			if !s.done {
+				queries = append(queries, s.next())
+				open = append(open, i)
+			}
+		}
+		if len(queries) == 0 {
+			// Only reachable if every scan settled on the previous
+			// round's snapshot — that snapshot already carried Final.
+			return
+		}
+		resps, wireBytes, rounds, err := c.queryBatchChunked(ctx, queries)
+		if err != nil {
+			yield(Snapshot{Stats: *total}, err)
+			return
+		}
+		total.Rounds += rounds
+		total.Requests += len(queries)
+		roundElems := 0
+		for j, resp := range resps {
+			roundElems += len(resp.Elements)
+			if err := scans[open[j]].absorb(resp, c.openElement); err != nil {
+				yield(Snapshot{Stats: *total}, err)
+				return
+			}
+		}
+		total.Elements += roundElems
+		if wireBytes > 0 {
+			total.Bytes += wireBytes
+		} else {
+			total.Bytes += roundElems * c.cfg.Codec.WireSize()
+		}
+		if !emitRound(scans, k, progressive, total, yield) {
+			return
+		}
+	}
+}
+
+// streamSerial is streamBatched over the v1 path: each term's scan
+// runs to completion in turn, one round-trip per list request.
+func (c *Client) streamSerial(ctx context.Context, scans []*termScan, k int, progressive bool, total *QueryStats, yield func(Snapshot, error) bool) {
+	for _, scan := range scans {
+		for !scan.done {
+			if err := ctx.Err(); err != nil {
+				yield(Snapshot{Stats: *total}, err)
+				return
+			}
+			resp, wireBytes, err := c.t.Query(ctx, c.tokens, scan.list, scan.offset, scan.batch)
+			if err != nil {
+				yield(Snapshot{Stats: *total}, err)
+				return
+			}
+			total.Requests++
+			total.Rounds++
+			total.Elements += len(resp.Elements)
+			if wireBytes > 0 {
+				total.Bytes += wireBytes
+			} else {
+				total.Bytes += len(resp.Elements) * c.cfg.Codec.WireSize()
+			}
+			if err := scan.absorb(resp, c.openElement); err != nil {
+				yield(Snapshot{Stats: *total}, err)
+				return
+			}
+			if !emitRound(scans, k, progressive, total, yield) {
+				return
+			}
+		}
+	}
+}
+
+// emitRound closes one protocol round: in progressive mode it yields
+// a snapshot every round; otherwise only the final one is built and
+// yielded. Returns whether the protocol should continue.
+func emitRound(scans []*termScan, k int, progressive bool, total *QueryStats, yield func(Snapshot, error) bool) bool {
+	final := true
+	for _, s := range scans {
+		if !s.done {
+			final = false
+			break
+		}
+	}
+	if !progressive && !final {
+		return true
+	}
+	snap, _ := snapshot(scans, k, total)
+	return yield(snap, nil) && !final
+}
+
+// snapshot merges every scan's matches so far into the provisional
+// top-k (the Equation 3 outer sum over query terms) and reports
+// whether the protocol has settled: all scans done means no unseen
+// element can change the result, making this snapshot final. Stats
+// are copied, so later rounds don't mutate yielded snapshots.
+func snapshot(scans []*termScan, k int, total *QueryStats) (Snapshot, bool) {
+	acc := make(map[corpus.DocID]float64)
+	done, exhausted := true, true
+	for _, s := range scans {
+		if !s.done {
+			done = false
+		}
+		if !s.exhausted {
+			exhausted = false
+		}
+		rank.Accumulate(acc, s.results())
+	}
+	snap := Snapshot{Results: rank.TopK(acc, k), Stats: *total, Final: done}
+	if done {
+		snap.Stats.Exhausted = exhausted
+		total.Exhausted = exhausted
+	}
+	return snap, done
+}
+
+// TopK answers a single-term top-k query with the default initial
+// response size over the serial v1 path.
+//
+// Deprecated: use Search with a one-term slice (add WithSerial to
+// keep the v1 request accounting).
+func (c *Client) TopK(term corpus.TermID, k int) ([]rank.Result, QueryStats, error) {
+	return c.Search(context.Background(), []corpus.TermID{term}, k, WithSerial())
+}
+
+// TopKWithInitial answers a single-term top-k query with an explicit
+// initial response size b over the serial v1 path.
+//
+// Deprecated: use Search with WithInitialResponse (and WithSerial for
+// v1 request accounting).
+func (c *Client) TopKWithInitial(term corpus.TermID, k, b int) ([]rank.Result, QueryStats, error) {
+	return c.Search(context.Background(), []corpus.TermID{term}, k, WithSerial(), WithInitialResponse(b))
+}
+
+// SearchSerial answers a multi-term query over the serial v1 path.
+//
+// Deprecated: use Search with WithSerial.
+func (c *Client) SearchSerial(terms []corpus.TermID, k int) ([]rank.Result, QueryStats, error) {
+	return c.Search(context.Background(), terms, k, WithSerial())
+}

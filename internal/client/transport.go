@@ -2,10 +2,12 @@ package client
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"zerberr/internal/crypt"
 	"zerberr/internal/server"
@@ -15,23 +17,29 @@ import (
 // Transport abstracts how the client reaches the index server: in
 // process (experiments, tests) or over HTTP (outsourced deployment).
 //
+// Every method takes a context as its first argument (API v3). The
+// context bounds the whole exchange: transports that perform I/O must
+// abandon the operation when the context is canceled or its deadline
+// passes, returning the context's error (possibly wrapped — callers
+// match with errors.Is).
+//
 // The single-operation methods are the v1 protocol, one round-trip
 // per operation. The batch methods are the v2 protocol: one exchange
 // covers many lists or many elements, which is what makes multi-term
 // search O(rounds) instead of O(requests) over the network.
 type Transport interface {
-	Login(user string) ([]crypt.Token, error)
-	Insert(tok crypt.Token, list zerber.ListID, el server.StoredElement) error
+	Login(ctx context.Context, user string) ([]crypt.Token, error)
+	Insert(ctx context.Context, tok crypt.Token, list zerber.ListID, el server.StoredElement) error
 	// Query is the serial v1 read. wireBytes is the measured size of
 	// the encoded response on transports that serialize (the HTTP
 	// transport reports the JSON body size); 0 in process, where
 	// nothing crosses a wire and callers fall back to the codec's
 	// per-element estimate — the same accounting QueryBatch uses.
-	Query(toks []crypt.Token, list zerber.ListID, offset, count int) (resp server.QueryResponse, wireBytes int, err error)
-	Remove(tok crypt.Token, list zerber.ListID, sealed []byte) error
-	QueryBatch(toks []crypt.Token, queries []server.ListQuery) (BatchQueryResult, error)
-	InsertBatch(tok crypt.Token, ops []server.InsertOp) error
-	RemoveBatch(tok crypt.Token, ops []server.RemoveOp) error
+	Query(ctx context.Context, toks []crypt.Token, list zerber.ListID, offset, count int) (resp server.QueryResponse, wireBytes int, err error)
+	Remove(ctx context.Context, tok crypt.Token, list zerber.ListID, sealed []byte) error
+	QueryBatch(ctx context.Context, toks []crypt.Token, queries []server.ListQuery) (BatchQueryResult, error)
+	InsertBatch(ctx context.Context, tok crypt.Token, ops []server.InsertOp) error
+	RemoveBatch(ctx context.Context, tok crypt.Token, ops []server.RemoveOp) error
 }
 
 // BatchQueryResult is one batched round-trip's worth of responses,
@@ -51,46 +59,61 @@ type Local struct {
 }
 
 // Login implements Transport.
-func (l Local) Login(user string) ([]crypt.Token, error) { return l.S.Login(user) }
+func (l Local) Login(ctx context.Context, user string) ([]crypt.Token, error) {
+	return l.S.Login(ctx, user)
+}
 
 // Insert implements Transport.
-func (l Local) Insert(tok crypt.Token, list zerber.ListID, el server.StoredElement) error {
-	return l.S.Insert(tok, list, el)
+func (l Local) Insert(ctx context.Context, tok crypt.Token, list zerber.ListID, el server.StoredElement) error {
+	return l.S.Insert(ctx, tok, list, el)
 }
 
 // Query implements Transport. Nothing is serialized in process, so
 // the measured wire size is 0.
-func (l Local) Query(toks []crypt.Token, list zerber.ListID, offset, count int) (server.QueryResponse, int, error) {
-	resp, err := l.S.Query(toks, list, offset, count)
+func (l Local) Query(ctx context.Context, toks []crypt.Token, list zerber.ListID, offset, count int) (server.QueryResponse, int, error) {
+	resp, err := l.S.Query(ctx, toks, list, offset, count)
 	return resp, 0, err
 }
 
 // Remove implements Transport.
-func (l Local) Remove(tok crypt.Token, list zerber.ListID, sealed []byte) error {
-	return l.S.Remove(tok, list, sealed)
+func (l Local) Remove(ctx context.Context, tok crypt.Token, list zerber.ListID, sealed []byte) error {
+	return l.S.Remove(ctx, tok, list, sealed)
 }
 
 // QueryBatch implements Transport.
-func (l Local) QueryBatch(toks []crypt.Token, queries []server.ListQuery) (BatchQueryResult, error) {
-	resps, err := l.S.QueryBatch(toks, queries)
+func (l Local) QueryBatch(ctx context.Context, toks []crypt.Token, queries []server.ListQuery) (BatchQueryResult, error) {
+	resps, err := l.S.QueryBatch(ctx, toks, queries)
 	return BatchQueryResult{Responses: resps}, err
 }
 
 // InsertBatch implements Transport.
-func (l Local) InsertBatch(tok crypt.Token, ops []server.InsertOp) error {
-	return l.S.InsertBatch(tok, ops)
+func (l Local) InsertBatch(ctx context.Context, tok crypt.Token, ops []server.InsertOp) error {
+	return l.S.InsertBatch(ctx, tok, ops)
 }
 
 // RemoveBatch implements Transport.
-func (l Local) RemoveBatch(tok crypt.Token, ops []server.RemoveOp) error {
-	return l.S.RemoveBatch(tok, ops)
+func (l Local) RemoveBatch(ctx context.Context, tok crypt.Token, ops []server.RemoveOp) error {
+	return l.S.RemoveBatch(ctx, tok, ops)
 }
+
+// DefaultHTTPTimeout caps one HTTP exchange when no custom client and
+// no tighter context deadline is set: a hung or unreachable server
+// fails the request instead of wedging the caller forever.
+const DefaultHTTPTimeout = 30 * time.Second
+
+// defaultHTTPClient backs HTTP transports whose Client field is nil.
+// Unlike http.DefaultClient it carries a timeout, so the zero-config
+// transport can never block indefinitely on a dead peer.
+var defaultHTTPClient = &http.Client{Timeout: DefaultHTTPTimeout}
 
 // HTTP talks to a zerberd index server over its JSON API.
 type HTTP struct {
 	// BaseURL is the server root, e.g. "http://host:8021".
 	BaseURL string
-	// Client is the HTTP client; nil means http.DefaultClient.
+	// Client is the HTTP client; nil means a shared default with
+	// DefaultHTTPTimeout. Inject one to tune pooling, TLS or the
+	// overall per-exchange timeout. Per-request context deadlines are
+	// honored either way and may fire earlier than the client timeout.
 	Client *http.Client
 }
 
@@ -98,18 +121,25 @@ func (h HTTP) httpClient() *http.Client {
 	if h.Client != nil {
 		return h.Client
 	}
-	return http.DefaultClient
+	return defaultHTTPClient
 }
 
 // postJSON posts a request body and decodes the response into out,
-// translating error envelopes into errors. It returns the size of the
-// response body in bytes (the actual wire cost of the answer).
-func (h HTTP) postJSON(path string, in, out interface{}) (int, error) {
+// translating error envelopes into errors. The request is bound to
+// ctx (http.NewRequestWithContext), so cancellation aborts it even
+// mid-flight. It returns the size of the response body in bytes (the
+// actual wire cost of the answer).
+func (h HTTP) postJSON(ctx context.Context, path string, in, out interface{}) (int, error) {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return 0, fmt.Errorf("client: encoding request: %w", err)
 	}
-	resp, err := h.httpClient().Post(h.BaseURL+path, "application/json", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, h.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, fmt.Errorf("client: %s: %w", path, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := h.httpClient().Do(req)
 	if err != nil {
 		return 0, fmt.Errorf("client: %s: %w", path, err)
 	}
@@ -151,25 +181,25 @@ func (h HTTP) decodeError(path string, status int, raw []byte) error {
 }
 
 // Login implements Transport.
-func (h HTTP) Login(user string) ([]crypt.Token, error) {
+func (h HTTP) Login(ctx context.Context, user string) ([]crypt.Token, error) {
 	var out server.LoginResponse
-	if _, err := h.postJSON("/v1/login", server.LoginRequest{User: user}, &out); err != nil {
+	if _, err := h.postJSON(ctx, "/v1/login", server.LoginRequest{User: user}, &out); err != nil {
 		return nil, err
 	}
 	return out.Tokens, nil
 }
 
 // Insert implements Transport.
-func (h HTTP) Insert(tok crypt.Token, list zerber.ListID, el server.StoredElement) error {
-	_, err := h.postJSON("/v1/insert", server.InsertRequest{Token: tok, List: list, Element: el}, nil)
+func (h HTTP) Insert(ctx context.Context, tok crypt.Token, list zerber.ListID, el server.StoredElement) error {
+	_, err := h.postJSON(ctx, "/v1/insert", server.InsertRequest{Token: tok, List: list, Element: el}, nil)
 	return err
 }
 
 // Query implements Transport, reporting the measured response-body
 // size so serial-path bandwidth accounting matches the batched path.
-func (h HTTP) Query(toks []crypt.Token, list zerber.ListID, offset, count int) (server.QueryResponse, int, error) {
+func (h HTTP) Query(ctx context.Context, toks []crypt.Token, list zerber.ListID, offset, count int) (server.QueryResponse, int, error) {
 	var out server.QueryResponse
-	n, err := h.postJSON("/v1/query", server.QueryRequest{Tokens: toks, List: list, Offset: offset, Count: count}, &out)
+	n, err := h.postJSON(ctx, "/v1/query", server.QueryRequest{Tokens: toks, List: list, Offset: offset, Count: count}, &out)
 	if err != nil {
 		return server.QueryResponse{}, 0, err
 	}
@@ -177,16 +207,16 @@ func (h HTTP) Query(toks []crypt.Token, list zerber.ListID, offset, count int) (
 }
 
 // Remove implements Transport.
-func (h HTTP) Remove(tok crypt.Token, list zerber.ListID, sealed []byte) error {
-	_, err := h.postJSON("/v1/remove", server.RemoveRequest{Token: tok, List: list, Sealed: sealed}, nil)
+func (h HTTP) Remove(ctx context.Context, tok crypt.Token, list zerber.ListID, sealed []byte) error {
+	_, err := h.postJSON(ctx, "/v1/remove", server.RemoveRequest{Token: tok, List: list, Sealed: sealed}, nil)
 	return err
 }
 
 // QueryBatch implements Transport over POST /v2/query. WireBytes is
 // the measured response body size.
-func (h HTTP) QueryBatch(toks []crypt.Token, queries []server.ListQuery) (BatchQueryResult, error) {
+func (h HTTP) QueryBatch(ctx context.Context, toks []crypt.Token, queries []server.ListQuery) (BatchQueryResult, error) {
 	var out server.QueryBatchResponse
-	n, err := h.postJSON("/v2/query", server.QueryBatchRequest{Tokens: toks, Queries: queries}, &out)
+	n, err := h.postJSON(ctx, "/v2/query", server.QueryBatchRequest{Tokens: toks, Queries: queries}, &out)
 	if err != nil {
 		return BatchQueryResult{}, err
 	}
@@ -197,23 +227,27 @@ func (h HTTP) QueryBatch(toks []crypt.Token, queries []server.ListQuery) (BatchQ
 }
 
 // InsertBatch implements Transport over POST /v2/insert.
-func (h HTTP) InsertBatch(tok crypt.Token, ops []server.InsertOp) error {
-	_, err := h.postJSON("/v2/insert", server.InsertBatchRequest{Token: tok, Ops: ops}, nil)
+func (h HTTP) InsertBatch(ctx context.Context, tok crypt.Token, ops []server.InsertOp) error {
+	_, err := h.postJSON(ctx, "/v2/insert", server.InsertBatchRequest{Token: tok, Ops: ops}, nil)
 	return err
 }
 
 // RemoveBatch implements Transport over POST /v2/remove.
-func (h HTTP) RemoveBatch(tok crypt.Token, ops []server.RemoveOp) error {
-	_, err := h.postJSON("/v2/remove", server.RemoveBatchRequest{Token: tok, Ops: ops}, nil)
+func (h HTTP) RemoveBatch(ctx context.Context, tok crypt.Token, ops []server.RemoveOp) error {
+	_, err := h.postJSON(ctx, "/v2/remove", server.RemoveBatchRequest{Token: tok, Ops: ops}, nil)
 	return err
 }
 
 // Stats fetches GET /v2/stats: totals, per-list element counts and
 // the storage backend name. It is not part of Transport — it is an
 // administrative call, not a protocol operation.
-func (h HTTP) Stats() (server.StatsV2Response, error) {
+func (h HTTP) Stats(ctx context.Context) (server.StatsV2Response, error) {
 	var out server.StatsV2Response
-	resp, err := h.httpClient().Get(h.BaseURL + "/v2/stats")
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.BaseURL+"/v2/stats", nil)
+	if err != nil {
+		return out, fmt.Errorf("client: /v2/stats: %w", err)
+	}
+	resp, err := h.httpClient().Do(req)
 	if err != nil {
 		return out, fmt.Errorf("client: /v2/stats: %w", err)
 	}

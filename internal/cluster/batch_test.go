@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -24,7 +25,7 @@ func newBatchCluster(t *testing.T, nLists int) (*Local, crypt.Token, []crypt.Tok
 		t.Fatal(err)
 	}
 	local.RegisterUser("w", 0)
-	toks, err := local.Router.Login("w")
+	toks, err := local.Router.Login(context.Background(), "w")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +36,7 @@ func newBatchCluster(t *testing.T, nLists int) (*Local, crypt.Token, []crypt.Tok
 			Element: server.StoredElement{Sealed: []byte{byte(i)}, TRS: float64(i+1) / 100, Group: 0},
 		}
 	}
-	if err := local.Router.InsertBatch(toks[0], ops); err != nil {
+	if err := local.Router.InsertBatch(context.Background(), toks[0], ops); err != nil {
 		t.Fatal(err)
 	}
 	return local, toks[0], toks
@@ -59,7 +60,7 @@ func TestRouterQueryBatchSpansShardsInOrder(t *testing.T) {
 	for j, l := range order {
 		queries[j] = server.ListQuery{List: zerber.ListID(l), Offset: 0, Count: 10}
 	}
-	res, err := local.Router.QueryBatch(toks, queries)
+	res, err := local.Router.QueryBatch(context.Background(), toks, queries)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestRouterRemoveBatchSpansShards(t *testing.T) {
 	for i := 0; i < nLists; i++ {
 		ops[i] = server.RemoveOp{List: zerber.ListID(i), Sealed: []byte{byte(i)}}
 	}
-	if err := local.Router.RemoveBatch(tok, ops); err != nil {
+	if err := local.Router.RemoveBatch(context.Background(), tok, ops); err != nil {
 		t.Fatal(err)
 	}
 	if n := local.NumElements(); n != 0 {
@@ -98,7 +99,7 @@ func TestRouterBatchErrorCarriesShardAndGlobalIndex(t *testing.T) {
 	// the failing shard applied nothing.
 	shard := local.Router.ShardFor(4)
 	before := local.Servers[shard].NumElements()
-	err := local.Router.InsertBatch(tok, []server.InsertOp{
+	err := local.Router.InsertBatch(context.Background(), tok, []server.InsertOp{
 		{List: 3, Element: server.StoredElement{Sealed: []byte{100}, TRS: 0.5, Group: 0}},
 		{List: 4, Element: server.StoredElement{Sealed: []byte{101}, TRS: 0.5, Group: 99}},
 		{List: 5, Element: server.StoredElement{Sealed: []byte{102}, TRS: 0.5, Group: 0}},
@@ -123,7 +124,7 @@ type failingShard struct {
 	client.Transport
 }
 
-func (f failingShard) QueryBatch([]crypt.Token, []server.ListQuery) (client.BatchQueryResult, error) {
+func (f failingShard) QueryBatch(context.Context, []crypt.Token, []server.ListQuery) (client.BatchQueryResult, error) {
 	return client.BatchQueryResult{}, errors.New("shard down")
 }
 
@@ -142,7 +143,7 @@ func TestRouterQueryBatchShardFailure(t *testing.T) {
 	for i := range queries {
 		queries[i] = server.ListQuery{List: zerber.ListID(i), Offset: 0, Count: 10}
 	}
-	_, err = router.QueryBatch(toks, queries)
+	_, err = router.QueryBatch(context.Background(), toks, queries)
 	if err == nil {
 		t.Fatal("dead shard did not surface")
 	}
@@ -164,7 +165,7 @@ func TestClusterSearchBatchedMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	batchedRes, batchedStats, err := h.cl.Search(q, 10)
+	batchedRes, batchedStats, err := h.cl.Search(context.Background(), q, 10)
 	if err != nil {
 		t.Fatal(err)
 	}

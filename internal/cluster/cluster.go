@@ -6,12 +6,18 @@
 // client-side protocol is unchanged: the Router implements
 // client.Transport and routes every operation to the owning shard.
 //
+// Fan-out is context-aware (API v3): the caller's context flows to
+// every shard, and the first shard failure cancels the context the
+// remaining shards run under, so a slow or stuck shard is abandoned
+// instead of holding the whole batch hostage.
+//
 // All shards must share the same token-signing secret and user
 // registry (they are operated by the same enterprise infrastructure;
 // each is still individually untrusted with respect to content).
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -52,33 +58,39 @@ func (r *Router) ShardFor(list zerber.ListID) int {
 // Login implements client.Transport. Shards share their secret and
 // registry, so any shard's tokens are valid cluster-wide; the first
 // shard answers.
-func (r *Router) Login(user string) ([]crypt.Token, error) {
-	return r.shards[0].Login(user)
+func (r *Router) Login(ctx context.Context, user string) ([]crypt.Token, error) {
+	return r.shards[0].Login(ctx, user)
 }
 
 // Insert implements client.Transport.
-func (r *Router) Insert(tok crypt.Token, list zerber.ListID, el server.StoredElement) error {
-	return r.shards[r.ShardFor(list)].Insert(tok, list, el)
+func (r *Router) Insert(ctx context.Context, tok crypt.Token, list zerber.ListID, el server.StoredElement) error {
+	return r.shards[r.ShardFor(list)].Insert(ctx, tok, list, el)
 }
 
 // Query implements client.Transport, passing through the owning
 // shard's measured wire bytes.
-func (r *Router) Query(toks []crypt.Token, list zerber.ListID, offset, count int) (server.QueryResponse, int, error) {
-	return r.shards[r.ShardFor(list)].Query(toks, list, offset, count)
+func (r *Router) Query(ctx context.Context, toks []crypt.Token, list zerber.ListID, offset, count int) (server.QueryResponse, int, error) {
+	return r.shards[r.ShardFor(list)].Query(ctx, toks, list, offset, count)
 }
 
 // Remove implements client.Transport.
-func (r *Router) Remove(tok crypt.Token, list zerber.ListID, sealed []byte) error {
-	return r.shards[r.ShardFor(list)].Remove(tok, list, sealed)
+func (r *Router) Remove(ctx context.Context, tok crypt.Token, list zerber.ListID, sealed []byte) error {
+	return r.shards[r.ShardFor(list)].Remove(ctx, tok, list, sealed)
 }
 
-// shardFanOut groups batch operation indices by owning shard, runs fn
-// concurrently per shard with the shard-local index slice, and
-// returns the failure of the lowest-numbered failing shard,
-// decorated with its shard index. A shard-local *server.BatchError is
-// remapped onto the caller's original batch index, so partial-failure
-// reporting survives the scatter/gather.
-func (r *Router) shardFanOut(n int, listOf func(i int) zerber.ListID, fn func(shard int, idxs []int) error) error {
+// shardFanOut groups batch operation indices by owning shard and runs
+// fn concurrently per shard with the shard-local index slice. Every
+// shard runs under a context derived from the caller's that is
+// canceled on the first shard failure, so in-flight requests to the
+// remaining shards are abandoned rather than awaited. A shard-local
+// *server.BatchError is remapped onto the caller's original batch
+// index, so partial-failure reporting survives the scatter/gather.
+//
+// Error precedence: the caller's own cancellation surfaces as the
+// plain context error; otherwise the lowest-numbered shard that
+// failed for a real reason wins (shards that merely observed the
+// fan-out cancellation are skipped), decorated with its shard index.
+func (r *Router) shardFanOut(ctx context.Context, n int, listOf func(i int) zerber.ListID, fn func(ctx context.Context, shard int, idxs []int) error) error {
 	byShard := make(map[int][]int)
 	for i := 0; i < n; i++ {
 		s := r.ShardFor(listOf(i))
@@ -89,6 +101,8 @@ func (r *Router) shardFanOut(n int, listOf func(i int) zerber.ListID, fn func(sh
 		shards = append(shards, s)
 	}
 	sort.Ints(shards)
+	fanCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	errs := make(map[int]error, len(shards))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -96,7 +110,7 @@ func (r *Router) shardFanOut(n int, listOf func(i int) zerber.ListID, fn func(sh
 		wg.Add(1)
 		go func(s int, idxs []int) {
 			defer wg.Done()
-			if err := fn(s, idxs); err != nil {
+			if err := fn(fanCtx, s, idxs); err != nil {
 				var be *server.BatchError
 				// The shard-local index is remote input (an HTTP shard
 				// controls it); remap only if it addresses this
@@ -109,10 +123,19 @@ func (r *Router) shardFanOut(n int, listOf func(i int) zerber.ListID, fn func(sh
 				mu.Lock()
 				errs[s] = err
 				mu.Unlock()
+				cancel() // abandon the remaining shards
 			}
 		}(s, byShard[s])
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, s := range shards {
+		if err := errs[s]; err != nil && !errors.Is(err, context.Canceled) {
+			return err
+		}
+	}
 	for _, s := range shards {
 		if err := errs[s]; err != nil {
 			return err
@@ -124,20 +147,21 @@ func (r *Router) shardFanOut(n int, listOf func(i int) zerber.ListID, fn func(sh
 // QueryBatch implements client.Transport: sub-queries are grouped by
 // owning shard, the shards are queried concurrently, and the
 // responses are reassembled in the caller's order. WireBytes sums the
-// shards' measured response sizes.
-func (r *Router) QueryBatch(toks []crypt.Token, queries []server.ListQuery) (client.BatchQueryResult, error) {
+// shards' measured response sizes. The first shard failure (or the
+// caller's cancellation) cancels the other shards' requests.
+func (r *Router) QueryBatch(ctx context.Context, toks []crypt.Token, queries []server.ListQuery) (client.BatchQueryResult, error) {
 	if len(queries) == 0 {
 		return client.BatchQueryResult{}, fmt.Errorf("%w: empty query batch", server.ErrBadRequest)
 	}
 	out := make([]server.QueryResponse, len(queries))
 	var mu sync.Mutex
 	wireBytes := 0
-	err := r.shardFanOut(len(queries), func(i int) zerber.ListID { return queries[i].List }, func(shard int, idxs []int) error {
+	err := r.shardFanOut(ctx, len(queries), func(i int) zerber.ListID { return queries[i].List }, func(ctx context.Context, shard int, idxs []int) error {
 		sub := make([]server.ListQuery, len(idxs))
 		for j, gi := range idxs {
 			sub[j] = queries[gi]
 		}
-		res, err := r.shards[shard].QueryBatch(toks, sub)
+		res, err := r.shards[shard].QueryBatch(ctx, toks, sub)
 		if err != nil {
 			return err
 		}
@@ -160,35 +184,37 @@ func (r *Router) QueryBatch(toks []crypt.Token, queries []server.ListQuery) (cli
 
 // InsertBatch implements client.Transport: operations are grouped by
 // owning shard and applied concurrently. Each shard validates its
-// sub-batch atomically, but atomicity does not span shards — a
-// failing shard leaves other shards' sub-batches applied. The
-// returned *server.BatchError carries the index in the caller's
-// batch and the failing shard.
-func (r *Router) InsertBatch(tok crypt.Token, ops []server.InsertOp) error {
+// sub-batch atomically, but atomicity does not span shards: a failing
+// shard leaves other shards' sub-batches applied, and because the
+// first failure cancels the sibling shards' contexts, a sibling
+// interrupted mid-apply can itself be left partially applied. The
+// returned *server.BatchError carries the index in the caller's batch
+// and the failing shard.
+func (r *Router) InsertBatch(ctx context.Context, tok crypt.Token, ops []server.InsertOp) error {
 	if len(ops) == 0 {
 		return fmt.Errorf("%w: empty insert batch", server.ErrBadRequest)
 	}
-	return r.shardFanOut(len(ops), func(i int) zerber.ListID { return ops[i].List }, func(shard int, idxs []int) error {
+	return r.shardFanOut(ctx, len(ops), func(i int) zerber.ListID { return ops[i].List }, func(ctx context.Context, shard int, idxs []int) error {
 		sub := make([]server.InsertOp, len(idxs))
 		for j, gi := range idxs {
 			sub[j] = ops[gi]
 		}
-		return r.shards[shard].InsertBatch(tok, sub)
+		return r.shards[shard].InsertBatch(ctx, tok, sub)
 	})
 }
 
 // RemoveBatch implements client.Transport, with the same per-shard
 // grouping and atomicity caveat as InsertBatch.
-func (r *Router) RemoveBatch(tok crypt.Token, ops []server.RemoveOp) error {
+func (r *Router) RemoveBatch(ctx context.Context, tok crypt.Token, ops []server.RemoveOp) error {
 	if len(ops) == 0 {
 		return fmt.Errorf("%w: empty remove batch", server.ErrBadRequest)
 	}
-	return r.shardFanOut(len(ops), func(i int) zerber.ListID { return ops[i].List }, func(shard int, idxs []int) error {
+	return r.shardFanOut(ctx, len(ops), func(i int) zerber.ListID { return ops[i].List }, func(ctx context.Context, shard int, idxs []int) error {
 		sub := make([]server.RemoveOp, len(idxs))
 		for j, gi := range idxs {
 			sub[j] = ops[gi]
 		}
-		return r.shards[shard].RemoveBatch(tok, sub)
+		return r.shards[shard].RemoveBatch(ctx, tok, sub)
 	})
 }
 

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -54,11 +55,11 @@ func newClusterHarness(t *testing.T, shards int, seed uint64) *clusterHarness {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.Login("writer"); err != nil {
+	if err := cl.Login(context.Background(), "writer"); err != nil {
 		t.Fatal(err)
 	}
 	for _, d := range c.Docs {
-		if err := cl.IndexDocument(d, d.Group); err != nil {
+		if err := cl.IndexDocument(context.Background(), d, d.Group); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -137,7 +138,7 @@ func TestClusterTopKMatchesBaseline(t *testing.T) {
 func TestClusterDelete(t *testing.T) {
 	h := newClusterHarness(t, 3, 3)
 	victim := h.c.Docs[4]
-	removed, err := h.cl.DeleteDocument(victim, victim.Group)
+	removed, err := h.cl.DeleteDocument(context.Background(), victim, victim.Group)
 	if err != nil {
 		t.Fatal(err)
 	}

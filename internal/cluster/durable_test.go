@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"reflect"
@@ -48,7 +49,7 @@ func TestRouterOverDurableShards(t *testing.T) {
 	}
 
 	router, srvs := open()
-	toks, err := router.Login("writer")
+	toks, err := router.Login(context.Background(), "writer")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,17 +58,17 @@ func TestRouterOverDurableShards(t *testing.T) {
 	for l := zerber.ListID(0); l < lists; l++ {
 		for i := 0; i < 5; i++ {
 			el := server.StoredElement{Sealed: []byte(fmt.Sprintf("l%d-e%d", l, i)), TRS: float64(i), Group: 0}
-			if err := router.Insert(toks[0], l, el); err != nil {
+			if err := router.Insert(context.Background(), toks[0], l, el); err != nil {
 				t.Fatal(err)
 			}
 		}
 	}
-	if err := router.Remove(toks[0], 2, []byte("l2-e0")); err != nil {
+	if err := router.Remove(context.Background(), toks[0], 2, []byte("l2-e0")); err != nil {
 		t.Fatal(err)
 	}
 	before := make(map[zerber.ListID]server.QueryResponse)
 	for l := zerber.ListID(0); l < lists; l++ {
-		resp, _, err := router.Query(toks, l, 0, 100)
+		resp, _, err := router.Query(context.Background(), toks, l, 0, 100)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -78,12 +79,12 @@ func TestRouterOverDurableShards(t *testing.T) {
 	// Restart: fresh servers over the same shard directories.
 	router, srvs = open()
 	defer closeAll(srvs)
-	toks, err = router.Login("writer")
+	toks, err = router.Login(context.Background(), "writer")
 	if err != nil {
 		t.Fatal(err)
 	}
 	for l := zerber.ListID(0); l < lists; l++ {
-		resp, _, err := router.Query(toks, l, 0, 100)
+		resp, _, err := router.Query(context.Background(), toks, l, 0, 100)
 		if err != nil {
 			t.Fatalf("list %d after restart: %v", l, err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"zerberr/internal/rank"
@@ -36,7 +37,7 @@ func MultiTermAccuracy(e *Env) (*Result, error) {
 			break
 		}
 		ran++
-		confidential, _, err := cl.Search(q.Terms, k)
+		confidential, _, err := cl.Search(context.Background(), q.Terms, k)
 		if err != nil {
 			return nil, fmt.Errorf("accuracy: %w", err)
 		}

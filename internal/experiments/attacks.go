@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	zerberr "zerberr"
 	"zerberr/internal/adversary"
+	"zerberr/internal/client"
 	"zerberr/internal/corpus"
 	"zerberr/internal/crypt"
 	"zerberr/internal/stats"
@@ -423,7 +425,8 @@ func requestAttackOn(sys *zerberr.System, maxProbes int) (acc, prior float64, pr
 			if sys.Corpus.DF(t) == 0 {
 				continue
 			}
-			_, st, err := cl.TopKWithInitial(t, k, b)
+			_, st, err := cl.Search(context.Background(), []corpus.TermID{t}, k,
+				client.WithSerial(), client.WithInitialResponse(b))
 			if err != nil {
 				return 0, 0, 0, err
 			}

@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"zerberr/internal/client"
+	"zerberr/internal/corpus"
 	"zerberr/internal/stats"
 )
 
@@ -61,7 +64,7 @@ func BandwidthAnalysis(e *Env) (*Result, error) {
 			if covered >= n {
 				break
 			}
-			if _, _, err := cl.Search(q.Terms, k); err != nil {
+			if _, _, err := cl.Search(context.Background(), q.Terms, k); err != nil {
 				return nil, fmt.Errorf("bandwidth: %w", err)
 			}
 			covered += len(q.Terms)
@@ -72,7 +75,8 @@ func BandwidthAnalysis(e *Env) (*Result, error) {
 	} else {
 		start := time.Now()
 		for _, term := range stream[:n] {
-			if _, _, err := cl.TopKWithInitial(term, k, b); err != nil {
+			if _, _, err := cl.Search(context.Background(), []corpus.TermID{term}, k,
+				client.WithSerial(), client.WithInitialResponse(b)); err != nil {
 				return nil, fmt.Errorf("bandwidth: %w", err)
 			}
 		}
@@ -93,11 +97,11 @@ func BandwidthAnalysis(e *Env) (*Result, error) {
 		if multi >= 200 {
 			break
 		}
-		_, serial, err := cl.SearchSerial(q.Terms, k)
+		_, serial, err := cl.Search(context.Background(), q.Terms, k, client.WithSerial())
 		if err != nil {
 			return nil, fmt.Errorf("bandwidth: serial search: %w", err)
 		}
-		_, batched, err := cl.Search(q.Terms, k)
+		_, batched, err := cl.Search(context.Background(), q.Terms, k)
 		if err != nil {
 			return nil, fmt.Errorf("bandwidth: batched search: %w", err)
 		}

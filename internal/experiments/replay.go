@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"zerberr/internal/client"
 	"zerberr/internal/corpus"
 )
 
@@ -92,7 +94,8 @@ func (e *Env) Replay(profile string) (*replay, error) {
 		for _, b := range replayBs {
 			pts := make([]replayPoint, 0, len(samples))
 			for _, s := range samples {
-				_, st, err := cl.TopKWithInitial(s.term, k, b)
+				_, st, err := cl.Search(context.Background(), []corpus.TermID{s.term}, k,
+					client.WithSerial(), client.WithInitialResponse(b))
 				if err != nil {
 					return nil, fmt.Errorf("experiments: replay term %d k=%d b=%d: %w", s.term, k, b, err)
 				}

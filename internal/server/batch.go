@@ -7,9 +7,12 @@ package server
 // with a single exchange per round, and lets writers upload a whole
 // document's posting elements at once. Sub-queries of one batch are
 // executed concurrently — they only take read views of the backend,
-// so the fan-out is safe.
+// so the fan-out is safe — and a canceled context or a failing
+// sub-query aborts the siblings that have not started yet.
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -74,10 +77,16 @@ func checkBatchSize(n int) error {
 
 // QueryBatch answers every sub-query under one token validation,
 // executing them concurrently (bounded by GOMAXPROCS). Responses are
-// returned in request order. Validation failures and sub-query errors
-// fail the whole batch with a *BatchError carrying the lowest failing
-// index.
-func (s *Server) QueryBatch(toks []crypt.Token, queries []ListQuery) ([]QueryResponse, error) {
+// returned in request order.
+//
+// The context is checked between sub-queries: canceling it stops
+// launching new ones and the batch fails with the context's error. A
+// failing sub-query likewise cancels the siblings that have not
+// started, and the batch fails with a *BatchError carrying the lowest
+// index among the sub-queries that actually ran and failed (malformed
+// sub-queries are still rejected up front with a precise index before
+// anything runs).
+func (s *Server) QueryBatch(ctx context.Context, toks []crypt.Token, queries []ListQuery) ([]QueryResponse, error) {
 	if err := checkBatchSize(len(queries)); err != nil {
 		return nil, err
 	}
@@ -92,20 +101,55 @@ func (s *Server) QueryBatch(toks []crypt.Token, queries []ListQuery) ([]QueryRes
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// subCtx aborts siblings on the first sub-query failure; the
+	// caller's ctx aborting flows through it too.
+	subCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	out := make([]QueryResponse, len(queries))
 	errs := make([]error, len(queries))
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	var wg sync.WaitGroup
 	for i, q := range queries {
+		if err := subCtx.Err(); err != nil {
+			errs[i] = err
+			continue
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i int, q ListQuery) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			if err := subCtx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
 			out[i], errs[i] = s.queryAllowed(allowed, q.List, q.Offset, q.Count)
+			if errs[i] != nil {
+				cancel()
+			}
 		}(i, q)
 	}
 	wg.Wait()
+	// Caller cancellation wins and is reported as the plain context
+	// error — no batch index, since no single operation is at fault.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Otherwise the first real failure; sibling slots aborted by our
+	// own cancel carry context.Canceled and are skipped.
+	for i, err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) {
+			return nil, &BatchError{Index: i, Err: err}
+		}
+	}
+	// Invariant guard, not a live code path: a slot can only hold
+	// context.Canceled after cancel() fired, which implies either a
+	// real failure (returned above) or caller cancellation (returned
+	// before that). If the precedence contract ever drifts, fail
+	// loudly rather than hand back zero-valued responses.
 	for i, err := range errs {
 		if err != nil {
 			return nil, &BatchError{Index: i, Err: err}
@@ -118,9 +162,9 @@ func (s *Server) QueryBatch(toks []crypt.Token, queries []ListQuery) ([]QueryRes
 // token. The whole batch is validated (payloads present, token covers
 // every element's group) before any element is applied, so a bad
 // operation fails the batch atomically with its index; only a storage
-// I/O failure (durable backend) can interrupt a validated batch
-// mid-apply.
-func (s *Server) InsertBatch(tok crypt.Token, ops []InsertOp) error {
+// I/O failure (durable backend) or a context canceled mid-apply can
+// interrupt a validated batch with earlier elements applied.
+func (s *Server) InsertBatch(ctx context.Context, tok crypt.Token, ops []InsertOp) error {
 	if err := checkBatchSize(len(ops)); err != nil {
 		return err
 	}
@@ -137,6 +181,9 @@ func (s *Server) InsertBatch(tok crypt.Token, ops []InsertOp) error {
 		}
 	}
 	for i, op := range ops {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if err := s.backend.Insert(op.List, op.Element); err != nil {
 			return &BatchError{Index: i, Err: err}
 		}
@@ -149,8 +196,9 @@ func (s *Server) InsertBatch(tok crypt.Token, ops []InsertOp) error {
 // covers its group — and only a fully valid batch is applied, so one
 // bad operation fails the batch atomically with its index. (The check
 // and the apply are two passes; a concurrent writer racing the batch
-// can still surface an apply-time error, also index-precise.)
-func (s *Server) RemoveBatch(tok crypt.Token, ops []RemoveOp) error {
+// can still surface an apply-time error, also index-precise, and a
+// context canceled mid-apply leaves earlier removals applied.)
+func (s *Server) RemoveBatch(ctx context.Context, tok crypt.Token, ops []RemoveOp) error {
 	if err := checkBatchSize(len(ops)); err != nil {
 		return err
 	}
@@ -172,6 +220,9 @@ func (s *Server) RemoveBatch(tok crypt.Token, ops []RemoveOp) error {
 		byList[op.List] = append(byList[op.List], i)
 	}
 	for list, idxs := range byList {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		// Only the batch's own payloads are tracked during the scan,
 		// so the pre-flight allocates O(batch), not O(list).
 		wanted := make(map[string]bool, len(idxs))
@@ -208,6 +259,9 @@ func (s *Server) RemoveBatch(tok crypt.Token, ops []RemoveOp) error {
 		}
 	}
 	for i, op := range ops {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if err := s.removeAllowed(allowed, op.List, op.Sealed); err != nil {
 			return &BatchError{Index: i, Err: err}
 		}
@@ -223,8 +277,9 @@ type ListStat struct {
 
 // StatsV2 reports the totals plus per-list element counts (ascending
 // list ID) and the storage backend name. Backend failures (e.g. a
-// closed store) propagate instead of reading as an empty index.
-func (s *Server) StatsV2() (StatsV2Response, error) {
+// closed store) propagate instead of reading as an empty index; the
+// context is checked between per-list reads.
+func (s *Server) StatsV2(ctx context.Context) (StatsV2Response, error) {
 	lists, err := s.backend.Lists()
 	if err != nil {
 		return StatsV2Response{}, err
@@ -232,6 +287,9 @@ func (s *Server) StatsV2() (StatsV2Response, error) {
 	per := make([]ListStat, 0, len(lists))
 	elements := 0
 	for _, l := range lists {
+		if err := ctx.Err(); err != nil {
+			return StatsV2Response{}, err
+		}
 		n, err := s.backend.Len(l)
 		if err != nil {
 			return StatsV2Response{}, err

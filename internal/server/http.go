@@ -12,7 +12,10 @@ import (
 
 // HTTP transport: a thin JSON layer over the in-process API, so the
 // index server can be outsourced onto a remote host (cmd/zerberd) and
-// exercised by clients over the network.
+// exercised by clients over the network. Every handler threads the
+// request's context into the server call, so a disconnecting client
+// (or a cmd/zerberd drain timeout) cancels the server-side work it
+// started.
 //
 // v1 — one operation per round-trip, kept for compatibility:
 //
@@ -181,7 +184,7 @@ func (s *Server) Handler() http.Handler {
 		if !decode(w, r, &req) {
 			return
 		}
-		toks, err := s.Login(req.User)
+		toks, err := s.Login(r.Context(), req.User)
 		if err != nil {
 			writeErr(w, err)
 			return
@@ -193,7 +196,7 @@ func (s *Server) Handler() http.Handler {
 		if !decode(w, r, &req) {
 			return
 		}
-		if err := s.Insert(req.Token, req.List, req.Element); err != nil {
+		if err := s.Insert(r.Context(), req.Token, req.List, req.Element); err != nil {
 			writeErr(w, err)
 			return
 		}
@@ -204,7 +207,7 @@ func (s *Server) Handler() http.Handler {
 		if !decode(w, r, &req) {
 			return
 		}
-		if err := s.Remove(req.Token, req.List, req.Sealed); err != nil {
+		if err := s.Remove(r.Context(), req.Token, req.List, req.Sealed); err != nil {
 			writeErr(w, err)
 			return
 		}
@@ -215,7 +218,7 @@ func (s *Server) Handler() http.Handler {
 		if !decode(w, r, &req) {
 			return
 		}
-		resp, err := s.Query(req.Tokens, req.List, req.Offset, req.Count)
+		resp, err := s.Query(r.Context(), req.Tokens, req.List, req.Offset, req.Count)
 		if err != nil {
 			writeErr(w, err)
 			return
@@ -223,7 +226,7 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, resp)
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		st, err := s.StatsV2()
+		st, err := s.StatsV2(r.Context())
 		if err != nil {
 			writeErr(w, err)
 			return
@@ -235,7 +238,7 @@ func (s *Server) Handler() http.Handler {
 		if !decodeV2(w, r, &req) {
 			return
 		}
-		resps, err := s.QueryBatch(req.Tokens, req.Queries)
+		resps, err := s.QueryBatch(r.Context(), req.Tokens, req.Queries)
 		if err != nil {
 			writeErrV2(w, err)
 			return
@@ -247,7 +250,7 @@ func (s *Server) Handler() http.Handler {
 		if !decodeV2(w, r, &req) {
 			return
 		}
-		if err := s.InsertBatch(req.Token, req.Ops); err != nil {
+		if err := s.InsertBatch(r.Context(), req.Token, req.Ops); err != nil {
 			writeErrV2(w, err)
 			return
 		}
@@ -258,14 +261,14 @@ func (s *Server) Handler() http.Handler {
 		if !decodeV2(w, r, &req) {
 			return
 		}
-		if err := s.RemoveBatch(req.Token, req.Ops); err != nil {
+		if err := s.RemoveBatch(r.Context(), req.Token, req.Ops); err != nil {
 			writeErrV2(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, struct{}{})
 	})
 	mux.HandleFunc("GET /v2/stats", func(w http.ResponseWriter, r *http.Request) {
-		st, err := s.StatsV2()
+		st, err := s.StatsV2(r.Context())
 		if err != nil {
 			writeErrV2(w, err)
 			return

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -119,7 +120,7 @@ func TestHTTPV2StructuredErrors(t *testing.T) {
 	}
 	resp.Body.Close()
 	tok := lr.Tokens[0]
-	if err := s.Insert(tok, 5, StoredElement{Sealed: []byte{9}, TRS: 0.5, Group: 0}); err != nil {
+	if err := s.Insert(context.Background(), tok, 5, StoredElement{Sealed: []byte{9}, TRS: 0.5, Group: 0}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -203,16 +204,16 @@ func TestBatchErrorUnwraps(t *testing.T) {
 func TestRemoveBatchDuplicatePayloadAtomic(t *testing.T) {
 	s := New(secret, time.Hour)
 	s.RegisterUser("john", 0)
-	toks, err := s.Login("john")
+	toks, err := s.Login(context.Background(), "john")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Insert(toks[0], 3, StoredElement{Sealed: []byte{7}, TRS: 0.5, Group: 0}); err != nil {
+	if err := s.Insert(context.Background(), toks[0], 3, StoredElement{Sealed: []byte{7}, TRS: 0.5, Group: 0}); err != nil {
 		t.Fatal(err)
 	}
 	// Two ops name the single stored instance: the pre-flight must
 	// reject the batch (index 1) without removing anything.
-	err = s.RemoveBatch(toks[0], []RemoveOp{
+	err = s.RemoveBatch(context.Background(), toks[0], []RemoveOp{
 		{List: 3, Sealed: []byte{7}},
 		{List: 3, Sealed: []byte{7}},
 	})
@@ -231,7 +232,7 @@ func TestRemoveBatchDuplicatePayloadAtomic(t *testing.T) {
 func TestBatchSizeCap(t *testing.T) {
 	s := New(secret, time.Hour)
 	s.RegisterUser("john", 0)
-	toks, err := s.Login("john")
+	toks, err := s.Login(context.Background(), "john")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,14 +240,14 @@ func TestBatchSizeCap(t *testing.T) {
 	for i := range queries {
 		queries[i] = ListQuery{List: 1, Count: 1}
 	}
-	if _, err := s.QueryBatch(toks, queries); !errors.Is(err, ErrBadRequest) {
+	if _, err := s.QueryBatch(context.Background(), toks, queries); !errors.Is(err, ErrBadRequest) {
 		t.Fatalf("oversized query batch err = %v, want ErrBadRequest", err)
 	}
 	ops := make([]InsertOp, MaxBatchOps+1)
 	for i := range ops {
 		ops[i] = InsertOp{List: 1, Element: StoredElement{Sealed: []byte{1}, Group: 0}}
 	}
-	if err := s.InsertBatch(toks[0], ops); !errors.Is(err, ErrBadRequest) {
+	if err := s.InsertBatch(context.Background(), toks[0], ops); !errors.Is(err, ErrBadRequest) {
 		t.Fatalf("oversized insert batch err = %v, want ErrBadRequest", err)
 	}
 	if s.NumElements() != 0 {

@@ -13,6 +13,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -61,7 +62,10 @@ var ErrTokenExpired = fmt.Errorf("%w: token expired", ErrAuth)
 var ErrNotFound = errors.New("server: element not found")
 
 // Server is an index server over a pluggable storage backend. All
-// methods are safe for concurrent use.
+// methods are safe for concurrent use. Request-serving methods take a
+// context (API v3) and honor cancellation between units of work —
+// a canceled batch stops launching sub-queries and applying further
+// operations; see each method for its partial-effect semantics.
 type Server struct {
 	mu       sync.RWMutex // guards members and now; the backend locks itself
 	secret   []byte
@@ -131,7 +135,10 @@ func (s *Server) RegisterUser(user string, groups ...int) {
 // Login authenticates a user and issues one token per group
 // membership. (Password verification is out of scope — the paper
 // assumes an enterprise authentication layer; we model its outcome.)
-func (s *Server) Login(user string) ([]crypt.Token, error) {
+func (s *Server) Login(ctx context.Context, user string) ([]crypt.Token, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	groups, ok := s.members[user]
@@ -176,7 +183,10 @@ func (s *Server) allowedGroups(toks []crypt.Token) (map[int]bool, error) {
 // The presented token must cover the element's group (Section 5:
 // "The index server authenticates the user, checks his group
 // membership and accepts the update if appropriate").
-func (s *Server) Insert(tok crypt.Token, list zerber.ListID, el StoredElement) error {
+func (s *Server) Insert(ctx context.Context, tok crypt.Token, list zerber.ListID, el StoredElement) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if el.Sealed == nil {
 		return fmt.Errorf("%w: empty payload", ErrBadRequest)
 	}
@@ -194,7 +204,10 @@ func (s *Server) Insert(tok crypt.Token, list zerber.ListID, el StoredElement) e
 // within the caller's access-filtered, TRS-ranked view. The client
 // drives the progressive doubling of Section 5.2 by growing count
 // across follow-up requests; the server only serves ranked ranges.
-func (s *Server) Query(toks []crypt.Token, list zerber.ListID, offset, count int) (QueryResponse, error) {
+func (s *Server) Query(ctx context.Context, toks []crypt.Token, list zerber.ListID, offset, count int) (QueryResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return QueryResponse{}, err
+	}
 	if offset < 0 || count <= 0 {
 		return QueryResponse{}, fmt.Errorf("%w: offset %d count %d", ErrBadRequest, offset, count)
 	}
@@ -226,7 +239,10 @@ func (s *Server) queryAllowed(allowed map[int]bool, list zerber.ListID, offset, 
 // how index updates stay unlimited (Section 7): the owner re-indexes a
 // changed document after removing its old elements. The server still
 // learns nothing — it matches opaque bytes.
-func (s *Server) Remove(tok crypt.Token, list zerber.ListID, sealed []byte) error {
+func (s *Server) Remove(ctx context.Context, tok crypt.Token, list zerber.ListID, sealed []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if len(sealed) == 0 {
 		return fmt.Errorf("%w: empty payload", ErrBadRequest)
 	}

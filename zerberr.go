@@ -1,6 +1,7 @@
 package zerberr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -176,7 +177,9 @@ func (s *System) AllGroups() []int {
 
 // NewClient registers the user for the given groups (empty means all
 // groups), hands it the matching subset of group keys, and logs it in
-// against the system's server.
+// against the system's server. The server is in process, so login
+// cannot block and no context parameter is taken; per-query contexts
+// go to client.Search / SearchStream.
 func (s *System) NewClient(user string, groups ...int) (*client.Client, error) {
 	if len(groups) == 0 {
 		groups = s.AllGroups()
@@ -200,7 +203,7 @@ func (s *System) NewClient(user string, groups ...int) (*client.Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := cl.Login(user); err != nil {
+	if err := cl.Login(context.Background(), user); err != nil {
 		return nil, err
 	}
 	return cl, nil
@@ -215,7 +218,7 @@ func (s *System) IndexAll() error {
 		return err
 	}
 	for _, d := range s.Corpus.Docs {
-		if err := indexer.IndexDocument(d, d.Group); err != nil {
+		if err := indexer.IndexDocument(context.Background(), d, d.Group); err != nil {
 			return fmt.Errorf("zerberr: indexing doc %d: %w", d.ID, err)
 		}
 	}
