@@ -5,80 +5,26 @@ package zerberr_test
 // BenchmarkStoreAppend measures the logged insert hot path (one WAL
 // record framed, checksummed and pushed per op); BenchmarkStoreRecover
 // measures a cold start replaying snapshot + WAL into RAM.
+//
+// The hot-path benches (query follow-ups, cached queries, appends)
+// live in internal/microbench, shared with `zerber-bench -json` so CI
+// gating and BENCH_*.json snapshots measure exactly this code.
 
 import (
-	"fmt"
-	"math/rand"
-	"sort"
 	"testing"
 
+	"zerberr/internal/microbench"
 	"zerberr/internal/store"
 	"zerberr/internal/zerber"
 )
 
-// benchElement builds a posting element with a sealed payload of
-// realistic size (crypt.SealElement emits ~60-70 bytes).
-func benchElement(i int) store.Element {
-	sealed := make([]byte, 64)
-	for j := range sealed {
-		sealed[j] = byte(i >> (j % 4 * 8))
-	}
-	return store.Element{Sealed: sealed, TRS: float64(i % 997), Group: i % 8}
-}
-
 func BenchmarkStoreAppend(b *testing.B) {
-	for _, fsync := range []bool{false, true} {
-		b.Run(fmt.Sprintf("fsync=%v", fsync), func(b *testing.B) {
-			d, err := store.OpenDurable(b.TempDir(), store.Options{
-				SnapshotEvery: -1, // isolate the append path
-				FsyncEach:     fsync,
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			defer d.Close()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if err := d.Insert(zerber.ListID(i%64), benchElement(i)); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
-	}
+	b.Run("fsync=false", microbench.StoreAppend)
+	b.Run("fsync=true", microbench.StoreAppendFsync)
 }
 
 func BenchmarkStoreMemoryInsert(b *testing.B) {
-	m := store.NewMemory()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if err := m.Insert(zerber.ListID(i%64), benchElement(i)); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// scanQuery is the pre-rework read path, kept as the benchmark
-// baseline (and mirrored by the store's differential-test oracle): a
-// filter-scan over the whole sorted merged list with a per-element
-// payload copy for the returned window.
-func scanQuery(elems []store.Element, allowed map[int]bool, offset, count int) ([]store.Element, bool) {
-	var out []store.Element
-	seen := 0
-	for _, el := range elems {
-		if !allowed[el.Group] {
-			continue
-		}
-		if seen >= offset {
-			if len(out) >= count {
-				return out, false
-			}
-			cp := el
-			cp.Sealed = append([]byte(nil), el.Sealed...)
-			out = append(out, cp)
-		}
-		seen++
-	}
-	return out, true
+	microbench.MemoryInsert(b)
 }
 
 // BenchmarkQueryFollowup is the Section 5.2 hot path at depth: the
@@ -91,62 +37,21 @@ func scanQuery(elems []store.Element, allowed map[int]bool, offset, count int) (
 // the per-group sorted read path; "scan" is the pre-rework filter-scan
 // it replaced. Each iteration runs the three rounds.
 func BenchmarkQueryFollowup(b *testing.B) {
-	const (
-		n      = 120_000
-		groups = 8
-		list   = zerber.ListID(7)
-	)
-	rng := rand.New(rand.NewSource(3))
-	m := store.NewMemory()
-	elems := make([]store.Element, n)
-	for i := range elems {
-		sealed := make([]byte, 64)
-		rng.Read(sealed)
-		elems[i] = store.Element{Sealed: sealed, TRS: rng.Float64(), Group: i % groups}
-		if err := m.Insert(list, elems[i]); err != nil {
-			b.Fatal(err)
-		}
-	}
-	allowed := map[int]bool{0: true, 2: true, 4: true, 6: true}
-	// Fold the pending buffers in before timing, as a warmed server
-	// would have, and pre-sort the baseline's slice: the old path paid
-	// its full re-sort on the first read after an insert, so steady
-	// state is the favorable comparison for it.
-	if _, err := m.Query(list, allowed, 0, 1); err != nil {
-		b.Fatal(err)
-	}
-	sort.SliceStable(elems, func(i, j int) bool { return store.Less(elems[i], elems[j]) })
+	b.Run("indexed", microbench.QueryFollowupIndexed)
+	b.Run("scan", microbench.QueryFollowupScan)
+}
 
-	rounds := []struct{ offset, count int }{
-		{10_000, 1_000},
-		{20_000, 2_000},
-		{40_000, 4_000},
-	}
-	b.Run("indexed", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			for _, r := range rounds {
-				res, err := m.Query(list, allowed, r.offset, r.count)
-				if err != nil {
-					b.Fatal(err)
-				}
-				if len(res.Elements) != r.count {
-					b.Fatalf("offset %d: %d elements", r.offset, len(res.Elements))
-				}
-			}
-		}
-	})
-	b.Run("scan", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			for _, r := range rounds {
-				out, _ := scanQuery(elems, allowed, r.offset, r.count)
-				if len(out) != r.count {
-					b.Fatalf("offset %d: %d elements", r.offset, len(out))
-				}
-			}
-		}
-	})
+// BenchmarkQueryCached is the repeated-query path at the server layer:
+// the same deep follow-up windows requested over and over, as hot
+// terms see under heavy traffic. "hit" serves them from the
+// version-keyed result cache (after a warming pass); "uncached" pays
+// the full probe-and-merge read every time. Both include token
+// validation; results are element-identical by construction (the
+// differential tests prove it), so the delta is pure recomputation
+// saved.
+func BenchmarkQueryCached(b *testing.B) {
+	b.Run("hit", microbench.QueryCachedHit)
+	b.Run("uncached", microbench.QueryCachedUncached)
 }
 
 func BenchmarkStoreRecover(b *testing.B) {
@@ -165,7 +70,7 @@ func BenchmarkStoreRecover(b *testing.B) {
 				b.Fatal(err)
 			}
 			for i := 0; i < elements; i++ {
-				if err := d.Insert(zerber.ListID(i%64), benchElement(i)); err != nil {
+				if err := d.Insert(zerber.ListID(i%64), microbench.BenchElement(i)); err != nil {
 					b.Fatal(err)
 				}
 			}

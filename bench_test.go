@@ -20,6 +20,7 @@ import (
 	"zerberr/internal/corpus"
 	"zerberr/internal/crypt"
 	"zerberr/internal/experiments"
+	"zerberr/internal/microbench"
 	"zerberr/internal/rank"
 	"zerberr/internal/rstf"
 	"zerberr/internal/stats"
@@ -225,13 +226,12 @@ func BenchmarkIndexDocument(b *testing.B) {
 // BenchmarkSearchSerialVsBatched measures the round-trip savings of
 // the batched v2 protocol on multi-term queries, in process and over
 // a real HTTP loopback (zerber-bench -batched drives the experiment
-// harness down the same batched path).
+// harness down the same batched path). The in-process legs mount the
+// shared internal/microbench entries and the HTTP legs reuse the same
+// fixture and driver loop, so the CI-gated numbers and the
+// BENCH_*.json snapshots (`zerber-bench -json`) measure one workload.
 func BenchmarkSearchSerialVsBatched(b *testing.B) {
-	sys, err := getBenchSystem()
-	if err != nil {
-		b.Fatal(err)
-	}
-	local, err := sys.NewClient("bench-searcher")
+	sys, queries, err := microbench.SearchSystem()
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -246,43 +246,13 @@ func BenchmarkSearchSerialVsBatched(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if err := remote.Login(context.Background(), "bench-searcher"); err != nil {
+	if err := remote.Login(context.Background(), microbench.SearchUser); err != nil {
 		b.Fatal(err)
 	}
-	terms := sys.Corpus.TermsByDF()
-	queries := [][]corpus.TermID{
-		{terms[0], terms[20], terms[200]},
-		{terms[5], terms[50], terms[300], terms[len(terms)/2]},
-	}
-	paths := []struct {
-		name   string
-		search func([]corpus.TermID, int) ([]rank.Result, client.QueryStats, error)
-	}{
-		{"inproc/serial", local.SearchSerial},
-		{"inproc/batched", func(terms []corpus.TermID, k int) ([]rank.Result, client.QueryStats, error) {
-			return local.Search(context.Background(), terms, k)
-		}},
-		{"http/serial", remote.SearchSerial},
-		{"http/batched", func(terms []corpus.TermID, k int) ([]rank.Result, client.QueryStats, error) {
-			return remote.Search(context.Background(), terms, k)
-		}},
-	}
-	for _, p := range paths {
-		b.Run(p.name, func(b *testing.B) {
-			rounds, requests := 0, 0
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				_, st, err := p.search(queries[i%len(queries)], 10)
-				if err != nil {
-					b.Fatal(err)
-				}
-				rounds += st.Rounds
-				requests += st.Requests
-			}
-			b.ReportMetric(float64(rounds)/float64(b.N), "round-trips/query")
-			b.ReportMetric(float64(requests)/float64(b.N), "list-requests/query")
-		})
-	}
+	b.Run("inproc/serial", microbench.SearchSerial)
+	b.Run("inproc/batched", microbench.SearchBatched)
+	b.Run("http/serial", func(b *testing.B) { microbench.RunSearch(b, remote, queries, true) })
+	b.Run("http/batched", func(b *testing.B) { microbench.RunSearch(b, remote, queries, false) })
 }
 
 func BenchmarkRankTopK(b *testing.B) {

@@ -7,34 +7,45 @@
 //	zerber-bench -list
 //	zerber-bench -run fig11 [-scale 1] [-seed 1] [-csv results/]
 //	zerber-bench -run all -scale 0.5
+//	zerber-bench -json > BENCH_5.json
 //
 // Scale 1 is the laptop default; the paper-sized collections are
 // roughly -scale 4 (Stud IP) and -scale 30 (ODP).
+//
+// -json runs the key micro-benchmarks (internal/microbench — the same
+// code the go-test bench harness mounts) and prints one JSON object
+// per line: {"name", "ns_per_op", "allocs_per_op", "bytes_per_op"}.
+// This is the shared format of the repo's BENCH_*.json trajectory
+// snapshots and of the CI bench job's artifact.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
 	"strings"
+	"testing"
 	"time"
 
 	"zerberr/internal/experiments"
+	"zerberr/internal/microbench"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("zerber-bench: ")
 	var (
-		list    = flag.Bool("list", false, "list experiment IDs and exit")
-		run     = flag.String("run", "all", "experiment ID to run, or 'all'")
-		scale   = flag.Float64("scale", 1, "corpus scale factor (1 = laptop default)")
-		seed    = flag.Uint64("seed", 1, "deterministic seed")
-		csvDir  = flag.String("csv", "", "also write per-experiment CSV files into this directory")
-		quiet   = flag.Bool("q", false, "suppress progress logging")
-		batched = flag.Bool("batched", false, "drive search-timing loops over the batched v2 protocol (the bandwidth experiment always reports serial-vs-batched round-trips)")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		run      = flag.String("run", "all", "experiment ID to run, or 'all'")
+		scale    = flag.Float64("scale", 1, "corpus scale factor (1 = laptop default)")
+		seed     = flag.Uint64("seed", 1, "deterministic seed")
+		csvDir   = flag.String("csv", "", "also write per-experiment CSV files into this directory")
+		quiet    = flag.Bool("q", false, "suppress progress logging")
+		batched  = flag.Bool("batched", false, "drive search-timing loops over the batched v2 protocol (the bandwidth experiment always reports serial-vs-batched round-trips)")
+		jsonMode = flag.Bool("json", false, "run the key micro-benchmarks and print one JSON line per benchmark (the BENCH_*.json snapshot format)")
 	)
 	flag.Parse()
 
@@ -42,6 +53,10 @@ func main() {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
 		}
+		return
+	}
+	if *jsonMode {
+		runMicrobenchJSON(*quiet)
 		return
 	}
 
@@ -75,6 +90,42 @@ func main() {
 			if err := os.WriteFile(path, []byte(res.CSV()), 0o644); err != nil {
 				log.Fatalf("writing %s: %v", path, err)
 			}
+		}
+	}
+}
+
+// benchLine is one micro-benchmark result in the shared snapshot
+// format: the fields benchstat-adjacent tooling and the BENCH_*.json
+// trajectory agree on.
+type benchLine struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// runMicrobenchJSON drives the microbench suite through
+// testing.Benchmark and prints one JSON line per benchmark on stdout.
+// Progress goes to stderr so the JSON stream stays clean for
+// redirection.
+func runMicrobenchJSON(quiet bool) {
+	enc := json.NewEncoder(os.Stdout)
+	for _, bench := range microbench.Suite() {
+		if !quiet {
+			log.Printf("running %s", bench.Name)
+		}
+		res := testing.Benchmark(bench.F)
+		if res.N == 0 {
+			log.Fatalf("%s: benchmark did not run (failed inside testing.Benchmark)", bench.Name)
+		}
+		line := benchLine{
+			Name:        bench.Name,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		}
+		if err := enc.Encode(line); err != nil {
+			log.Fatal(err)
 		}
 	}
 }

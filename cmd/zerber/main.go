@@ -348,6 +348,10 @@ func cmdStatus(ctx context.Context, args []string) {
 	fmt.Printf("backend: %s\n", st.Backend)
 	fmt.Printf("lists:   %d\n", st.Lists)
 	fmt.Printf("elements: %d\n", st.Elements)
+	if c := st.Cache; c != nil {
+		fmt.Printf("cache:   %d hits, %d misses, %d evictions (%d windows, %d/%d bytes)\n",
+			c.Hits, c.Misses, c.Evictions, c.Entries, c.Bytes, c.Capacity)
+	}
 	for _, ls := range st.PerList {
 		fmt.Printf("  list %-6d %d elements\n", ls.List, ls.Elements)
 	}

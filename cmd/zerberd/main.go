@@ -7,13 +7,20 @@
 //
 //	zerberd -addr :8021 -secret-file secret.key \
 //	        -user john=0,1 -user alice=1 [-token-ttl 1h] \
-//	        [-data-dir /var/lib/zerberd]
+//	        [-data-dir /var/lib/zerberd] [-cache-bytes N | -cache-off]
 //
 // Without -data-dir the index lives in RAM and dies with the process.
 // With it, every accepted insert/remove is write-ahead logged and
 // periodically folded into a snapshot (internal/store), so a restarted
 // daemon serves the same index — including after a crash that tears
 // the final log record.
+//
+// Repeated ranked-range reads are served from a version-keyed
+// query-result cache (internal/cache) by default; -cache-bytes sizes
+// it and -cache-off disables it. Results are identical either way —
+// any insert or remove bumps the list's version and silently misses
+// every window cached before it. GET /v2/stats reports hit/miss/evict
+// counters.
 //
 // In a real deployment user registration would come from the
 // enterprise directory; the -user flags model that binding.
@@ -34,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"zerberr/internal/cache"
 	"zerberr/internal/server"
 	"zerberr/internal/store"
 )
@@ -70,6 +78,8 @@ func main() {
 		dataDir    = flag.String("data-dir", "", "directory for the durable index (WAL + snapshots); empty keeps the index in RAM only")
 		snapEvery  = flag.Int("snapshot-every", store.DefaultSnapshotEvery, "logged operations between automatic snapshots (with -data-dir)")
 		fsyncEach  = flag.Bool("fsync-each", false, "fsync the write-ahead log after every operation (with -data-dir)")
+		cacheBytes = flag.Int64("cache-bytes", 64<<20, "query-result cache capacity in bytes (see GET /v2/stats for hit/miss counters)")
+		cacheOff   = flag.Bool("cache-off", false, "disable the query-result cache")
 		users      = userFlags{}
 	)
 	flag.Var(users, "user", "register NAME=G1,G2 (repeatable)")
@@ -101,6 +111,10 @@ func main() {
 	}
 
 	srv := server.NewWithBackend(secret, *tokenTTL, backend)
+	if !*cacheOff && *cacheBytes > 0 {
+		srv.SetCache(cache.New(*cacheBytes))
+		log.Printf("query-result cache enabled (%d bytes)", *cacheBytes)
+	}
 	for name, groups := range users {
 		srv.RegisterUser(name, groups...)
 		log.Printf("registered user %q for groups %v", name, groups)

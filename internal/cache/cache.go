@@ -1,0 +1,263 @@
+// Package cache provides the query-result cache shared by the index
+// server and the cluster router: a sharded, byte-bounded LRU of ranked
+// windows, keyed by everything that determines a window's content —
+// the merged list, the allowed-group set, the (offset, count) range
+// and the list's mutation version (store.Backend.Version).
+//
+// Versioned keys make invalidation free: a mutation bumps the list's
+// version, so every window cached under the old version simply stops
+// matching (a transparent miss) and ages out of the LRU. Nothing is
+// ever served stale, and cached results are element-identical to what
+// the uncached read path returns for the same version.
+//
+// Payloads are aliased, never copied: an entry holds the same Element
+// slice (and the same sealed-byte buffers) the store handed out. The
+// store never rewrites payload bytes in place, so the aliases stay
+// valid for the life of the entry.
+//
+// Confidentiality: a key is (list ID, group IDs, offset, count,
+// version) — exactly the fields of the requests the untrusted server
+// already serves, plus a mutation count it could maintain anyway. The
+// cache therefore observes nothing the Section 3.1 threat model does
+// not already grant the server, and adds no new leakage.
+package cache
+
+import (
+	"hash/maphash"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"zerberr/internal/store"
+	"zerberr/internal/zerber"
+)
+
+// Key identifies one cached ranked window. Two queries with equal keys
+// are guaranteed the same answer: the version pins the list content,
+// Groups pins the visibility filter, Offset/Count pin the range.
+type Key struct {
+	List zerber.ListID
+	// Groups is the canonical allowed-group set — use GroupsKey.
+	Groups string
+	Offset int
+	Count  int
+	// Version is the list version the window was read at. The cluster
+	// router, which learns versions only from responses, stores its
+	// entries under Version 0 and checks the entry's own result version
+	// instead (see Cache doc on both usages).
+	Version uint64
+}
+
+// GroupsKey canonicalizes an allowed-group set: sorted IDs joined by
+// ",", "*" for nil (no filter), "" for the empty set. Server and
+// router derive it the same way, so their keys agree.
+func GroupsKey(allowed map[int]bool) string {
+	if allowed == nil {
+		return "*"
+	}
+	ids := make([]int, 0, len(allowed))
+	for g := range allowed {
+		ids = append(ids, g)
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	for i, g := range ids {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(g))
+	}
+	return b.String()
+}
+
+// Stats is a point-in-time view of the cache counters.
+type Stats struct {
+	// Hits and Misses count Get outcomes; Evictions counts entries
+	// displaced by capacity pressure (replacing a key in place is not
+	// an eviction).
+	Hits, Misses, Evictions uint64
+	// Entries and Bytes describe current occupancy; Capacity is the
+	// configured byte bound.
+	Entries int
+	Bytes   int64
+	// Capacity is the configured maximum payload bytes.
+	Capacity int64
+}
+
+// numShards spreads lock contention; keys are distributed by hash.
+const numShards = 16
+
+// entryOverhead is the accounted fixed cost of one entry beyond its
+// payload bytes (map slot, list node, headers). An estimate — the
+// bound is a sizing knob, not an allocator contract.
+const entryOverhead = 128
+
+// elementOverhead is the accounted per-element cost beyond the sealed
+// payload (slice header, TRS, group).
+const elementOverhead = 40
+
+// Cache is a sharded LRU of ranked windows. All methods are safe for
+// concurrent use. The zero value is not usable; call New.
+type Cache struct {
+	seed     maphash.Seed
+	capacity int64
+	shards   [numShards]shard
+
+	hits, misses, evictions atomic.Uint64
+}
+
+type shard struct {
+	mu      sync.Mutex
+	entries map[Key]*entry
+	// LRU ring: head.next is most recent, head.prev least recent.
+	head  entry
+	bytes int64
+}
+
+type entry struct {
+	key        Key
+	res        store.QueryResult
+	bytes      int64
+	prev, next *entry
+}
+
+// New creates a cache bounded by maxBytes of accounted payload. Each
+// shard takes an equal slice of the budget, so one entry can never
+// exceed maxBytes/16. maxBytes <= 0 yields a cache that stores
+// nothing (every Get is a miss) — callers wanting "off" should keep a
+// nil *Cache instead.
+func New(maxBytes int64) *Cache {
+	c := &Cache{seed: maphash.MakeSeed(), capacity: maxBytes}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.entries = make(map[Key]*entry)
+		s.head.prev = &s.head
+		s.head.next = &s.head
+	}
+	return c
+}
+
+// shardFor hashes the key onto a shard.
+func (c *Cache) shardFor(k Key) *shard {
+	var h maphash.Hash
+	h.SetSeed(c.seed)
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(uint64(k.List))
+	put(uint64(k.Offset))
+	put(uint64(k.Count))
+	put(k.Version)
+	h.WriteString(k.Groups)
+	return &c.shards[h.Sum64()%numShards]
+}
+
+// cost accounts an entry's bytes: payloads plus bookkeeping estimates.
+func cost(k Key, res store.QueryResult) int64 {
+	n := int64(entryOverhead + len(k.Groups))
+	for _, el := range res.Elements {
+		n += int64(len(el.Sealed) + elementOverhead)
+	}
+	return n
+}
+
+// Get returns the window cached under k, if any, and refreshes its
+// recency. The result's Elements alias the cached (and therefore the
+// store's) buffers — callers must not mutate them.
+func (c *Cache) Get(k Key) (store.QueryResult, bool) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	e, ok := s.entries[k]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		return store.QueryResult{}, false
+	}
+	s.moveFront(e)
+	res := e.res
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return res, true
+}
+
+// Put stores the window under k, evicting least-recently-used entries
+// until the shard fits its budget. A window too large for the shard
+// budget is not cached at all. Storing under an existing key replaces
+// the entry (the router's Version-0 keys are refreshed this way).
+func (c *Cache) Put(k Key, res store.QueryResult) {
+	s := c.shardFor(k)
+	n := cost(k, res)
+	budget := c.capacity / numShards
+	if n > budget {
+		return
+	}
+	s.mu.Lock()
+	if e, ok := s.entries[k]; ok {
+		s.bytes += n - e.bytes
+		e.res, e.bytes = res, n
+		s.moveFront(e)
+	} else {
+		e := &entry{key: k, res: res, bytes: n}
+		s.entries[k] = e
+		s.bytes += n
+		s.pushFront(e)
+	}
+	for s.bytes > budget {
+		lru := s.head.prev
+		s.unlink(lru)
+		delete(s.entries, lru.key)
+		s.bytes -= lru.bytes
+		c.evictions.Add(1)
+	}
+	s.mu.Unlock()
+}
+
+// Stats returns the counters and occupancy. Occupancy is summed under
+// the shard locks; the atomic counters are read without one, so a
+// concurrent Get can make Hits+Misses momentarily disagree with what
+// occupancy implies — fine for diagnostics.
+func (c *Cache) Stats() Stats {
+	st := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Capacity:  c.capacity,
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Entries += len(s.entries)
+		st.Bytes += s.bytes
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// List-manipulation helpers; callers hold the shard lock.
+
+func (s *shard) pushFront(e *entry) {
+	e.prev = &s.head
+	e.next = s.head.next
+	e.prev.next = e
+	e.next.prev = e
+}
+
+func (s *shard) unlink(e *entry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+}
+
+func (s *shard) moveFront(e *entry) {
+	if s.head.next == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}

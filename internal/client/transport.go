@@ -27,6 +27,17 @@ import (
 // per operation. The batch methods are the v2 protocol: one exchange
 // covers many lists or many elements, which is what makes multi-term
 // search O(rounds) instead of O(requests) over the network.
+//
+// Query responses carry the list's mutation version, and QueryBatch
+// sub-queries may be conditional (server.ListQuery.IfVersion): a
+// transport must pass both through unmodified — except the cluster
+// Router, which may set IfVersion itself on sub-queries the caller
+// left unconditional and must then resolve Unchanged answers back
+// into full windows before returning them. Callers that set IfVersion
+// explicitly always receive the raw Unchanged marker and own the
+// retained window themselves. The client's progressive search never
+// sets it: its repeated doubling windows are instead served from the
+// server-side result cache, which keys on the same versions.
 type Transport interface {
 	Login(ctx context.Context, user string) ([]crypt.Token, error)
 	Insert(ctx context.Context, tok crypt.Token, list zerber.ListID, el server.StoredElement) error

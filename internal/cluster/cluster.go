@@ -22,18 +22,34 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"zerberr/internal/cache"
 	"zerberr/internal/client"
 	"zerberr/internal/crypt"
 	"zerberr/internal/server"
+	"zerberr/internal/store"
 	"zerberr/internal/zerber"
 )
 
 // Router fans a client's operations out to the shard owning each
 // merged posting list. It implements client.Transport.
+//
+// With SetCache, the router keeps the windows shards returned and
+// revalidates them per shard with conditional sub-queries
+// (ListQuery.IfVersion): each list's response carries the owning
+// shard's version for it, and a follow-up batch asks "serve this
+// window only if the version moved". A shard whose lists are unchanged
+// answers with tiny Unchanged markers and the router reuses the
+// retained windows — same elements, a fraction of the wire bytes and
+// none of the shard-side merge work.
 type Router struct {
 	shards []client.Transport
+	// results is the optional window cache (nil = off). Entries are
+	// keyed version-agnostically (Key.Version = 0); the retained
+	// window's own Version is what conditional revalidation sends.
+	results atomic.Pointer[cache.Cache]
 }
 
 // NewRouter builds a router over the given shard transports (local
@@ -47,6 +63,36 @@ func NewRouter(shards ...client.Transport) (*Router, error) {
 
 // NumShards returns the shard count.
 func (r *Router) NumShards() int { return len(r.shards) }
+
+// SetCache installs (or, with nil, removes) the router-side window
+// cache. Reuse is always revalidated against the owning shard's
+// current list version before a retained window is served, so results
+// stay element-identical to an uncached fan-out. Safe to call while
+// the router is serving traffic.
+func (r *Router) SetCache(c *cache.Cache) { r.results.Store(c) }
+
+// CacheStats reports the router window-cache counters; ok is false
+// when no cache is installed. Hits count sub-queries answered by a
+// revalidated retained window.
+func (r *Router) CacheStats() (cache.Stats, bool) {
+	c := r.results.Load()
+	if c == nil {
+		return cache.Stats{}, false
+	}
+	return c.Stats(), true
+}
+
+// groupsOf canonicalizes the groups the presented tokens claim — the
+// same set the shard's validated allowed-set will hold, so router and
+// server cache keys agree. (If a token is invalid the shard rejects
+// the batch before any window is served, cached or not.)
+func groupsOf(toks []crypt.Token) string {
+	set := make(map[int]bool, len(toks))
+	for _, tok := range toks {
+		set[tok.Group] = true
+	}
+	return cache.GroupsKey(set)
+}
 
 // ShardFor returns the index of the shard owning a merged list.
 // Assignment is static so inserting and querying clients agree without
@@ -149,9 +195,25 @@ func (r *Router) shardFanOut(ctx context.Context, n int, listOf func(i int) zerb
 // responses are reassembled in the caller's order. WireBytes sums the
 // shards' measured response sizes. The first shard failure (or the
 // caller's cancellation) cancels the other shards' requests.
+//
+// With a cache installed, each sub-query the router holds a retained
+// window for goes out conditional on that window's shard version; an
+// Unchanged answer substitutes the retained window, element-identical
+// to what the shard would have re-served. Sub-queries whose callers
+// set IfVersion themselves are passed through untouched — the caller
+// is running its own revalidation and gets the raw Unchanged marker.
 func (r *Router) QueryBatch(ctx context.Context, toks []crypt.Token, queries []server.ListQuery) (client.BatchQueryResult, error) {
 	if len(queries) == 0 {
 		return client.BatchQueryResult{}, fmt.Errorf("%w: empty query batch", server.ErrBadRequest)
+	}
+	c := r.results.Load()
+	var groups string
+	// retained[i] is the cached window sub-query i was made conditional
+	// on; nil entries (cache off, miss, or caller-set IfVersion) leave
+	// the sub-query as given.
+	retained := make([]*cachedWindow, len(queries))
+	if c != nil {
+		groups = groupsOf(toks)
 	}
 	out := make([]server.QueryResponse, len(queries))
 	var mu sync.Mutex
@@ -160,6 +222,13 @@ func (r *Router) QueryBatch(ctx context.Context, toks []crypt.Token, queries []s
 		sub := make([]server.ListQuery, len(idxs))
 		for j, gi := range idxs {
 			sub[j] = queries[gi]
+			if c != nil && sub[j].IfVersion == nil {
+				if res, ok := c.Get(r.windowKey(groups, queries[gi])); ok && res.Version != 0 {
+					w := &cachedWindow{res: res}
+					retained[gi] = w
+					sub[j].IfVersion = &w.res.Version
+				}
+			}
 		}
 		res, err := r.shards[shard].QueryBatch(ctx, toks, sub)
 		if err != nil {
@@ -169,7 +238,22 @@ func (r *Router) QueryBatch(ctx context.Context, toks []crypt.Token, queries []s
 			return fmt.Errorf("%d responses for %d queries", len(res.Responses), len(sub))
 		}
 		for j, gi := range idxs {
-			out[gi] = res.Responses[j]
+			resp := res.Responses[j]
+			switch w := retained[gi]; {
+			case resp.Unchanged && w != nil:
+				// The shard vouched the retained window is still the
+				// current content for this version.
+				out[gi] = server.QueryResponse{Elements: w.res.Elements, Exhausted: w.res.Exhausted, Version: resp.Version}
+			default:
+				out[gi] = resp
+				if c != nil && !resp.Unchanged && resp.Version != 0 && queries[gi].IfVersion == nil {
+					c.Put(r.windowKey(groups, queries[gi]), store.QueryResult{
+						Elements:  resp.Elements,
+						Exhausted: resp.Exhausted,
+						Version:   resp.Version,
+					})
+				}
+			}
 		}
 		mu.Lock()
 		wireBytes += res.WireBytes
@@ -180,6 +264,21 @@ func (r *Router) QueryBatch(ctx context.Context, toks []crypt.Token, queries []s
 		return client.BatchQueryResult{}, err
 	}
 	return client.BatchQueryResult{Responses: out, WireBytes: wireBytes}, nil
+}
+
+// cachedWindow pins one retained window for the duration of a batch,
+// so the IfVersion pointer sent to the shard and the window
+// substituted on Unchanged cannot come from two different cache
+// generations.
+type cachedWindow struct {
+	res store.QueryResult
+}
+
+// windowKey is the router's version-agnostic cache key for one
+// sub-query (the retained window's own Version carries the shard
+// version).
+func (r *Router) windowKey(groups string, q server.ListQuery) cache.Key {
+	return cache.Key{List: q.List, Groups: groups, Offset: q.Offset, Count: q.Count}
 }
 
 // InsertBatch implements client.Transport: operations are grouped by

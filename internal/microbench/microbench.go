@@ -1,0 +1,398 @@
+// Package microbench hosts the key micro-benchmarks in library form,
+// so the go-test bench harness (bench_store_test.go, bench_test.go)
+// and `zerber-bench -json` execute the same code: what CI gates with
+// benchstat and what BENCH_*.json snapshots record is one suite, not
+// two drifting copies.
+//
+// Every benchmark is an ordinary func(*testing.B); the test files
+// mount them under b.Run sub-benchmarks and zerber-bench drives them
+// through testing.Benchmark. Shared fixtures (the 120k-element list,
+// the indexed search system) are built once per process.
+package microbench
+
+import (
+	"context"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	zerberr "zerberr"
+	"zerberr/internal/cache"
+	"zerberr/internal/client"
+	"zerberr/internal/corpus"
+	"zerberr/internal/crypt"
+	"zerberr/internal/server"
+	"zerberr/internal/store"
+	"zerberr/internal/zerber"
+)
+
+// Bench is one named micro-benchmark of the suite.
+type Bench struct {
+	Name string
+	F    func(b *testing.B)
+}
+
+// Suite lists the benchmarks `zerber-bench -json` runs, in order. The
+// names mirror the go-test benchmark tree (BenchmarkX/sub).
+func Suite() []Bench {
+	return []Bench{
+		{"QueryFollowup/indexed", QueryFollowupIndexed},
+		{"QueryFollowup/scan", QueryFollowupScan},
+		{"QueryCached/hit", QueryCachedHit},
+		{"QueryCached/uncached", QueryCachedUncached},
+		{"StoreAppend", StoreAppend},
+		{"StoreMemoryInsert", MemoryInsert},
+		{"SearchSerialVsBatched/inproc/serial", SearchSerial},
+		{"SearchSerialVsBatched/inproc/batched", SearchBatched},
+	}
+}
+
+// --- shared 120k-element list fixture -------------------------------
+
+const (
+	fixtureElems  = 120_000
+	fixtureGroups = 8
+	fixtureList   = zerber.ListID(7)
+)
+
+// followupRounds is the Section 5.2 doubling tail a progressive query
+// replays at depth: the windows a repeated query re-requests.
+var followupRounds = []struct{ Offset, Count int }{
+	{10_000, 1_000},
+	{20_000, 2_000},
+	{40_000, 4_000},
+}
+
+var fixtureAllowed = map[int]bool{0: true, 2: true, 4: true, 6: true}
+
+type listFixture struct {
+	mem   *store.Memory
+	elems []store.Element // rank-sorted copy for the scan baseline
+}
+
+var (
+	listOnce sync.Once
+	listFix  *listFixture
+)
+
+// bigList builds (once) a 120k-element merged list spread over 8
+// groups, warmed so the per-group runs are compacted, plus the
+// rank-sorted slice the scan baseline walks.
+func bigList() *listFixture {
+	listOnce.Do(func() {
+		rng := rand.New(rand.NewSource(3))
+		m := store.NewMemory()
+		elems := make([]store.Element, fixtureElems)
+		for i := range elems {
+			sealed := make([]byte, 64)
+			rng.Read(sealed)
+			elems[i] = store.Element{Sealed: sealed, TRS: rng.Float64(), Group: i % fixtureGroups}
+			if err := m.Insert(fixtureList, elems[i]); err != nil {
+				panic(err)
+			}
+		}
+		// Fold the pending buffers in, as a warmed server would have,
+		// and pre-sort the baseline's slice: the old path paid its full
+		// re-sort on the first read after an insert, so steady state is
+		// the favorable comparison for it.
+		if _, err := m.Query(fixtureList, fixtureAllowed, 0, 1); err != nil {
+			panic(err)
+		}
+		sort.SliceStable(elems, func(i, j int) bool { return store.Less(elems[i], elems[j]) })
+		listFix = &listFixture{mem: m, elems: elems}
+	})
+	return listFix
+}
+
+// ScanQuery is the pre-rework read path, kept as the benchmark
+// baseline (and mirrored by the store's differential-test oracle): a
+// filter-scan over the whole sorted merged list with a per-element
+// payload copy for the returned window.
+func ScanQuery(elems []store.Element, allowed map[int]bool, offset, count int) ([]store.Element, bool) {
+	var out []store.Element
+	seen := 0
+	for _, el := range elems {
+		if !allowed[el.Group] {
+			continue
+		}
+		if seen >= offset {
+			if len(out) >= count {
+				return out, false
+			}
+			cp := el
+			cp.Sealed = append([]byte(nil), el.Sealed...)
+			out = append(out, cp)
+		}
+		seen++
+	}
+	return out, true
+}
+
+// QueryFollowupIndexed measures the per-group sorted read path on the
+// deep follow-up rounds (each iteration runs the three rounds).
+func QueryFollowupIndexed(b *testing.B) {
+	f := bigList()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range followupRounds {
+			res, err := f.mem.Query(fixtureList, fixtureAllowed, r.Offset, r.Count)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Elements) != r.Count {
+				b.Fatalf("offset %d: %d elements", r.Offset, len(res.Elements))
+			}
+		}
+	}
+}
+
+// QueryFollowupScan is the same workload over the scan baseline.
+func QueryFollowupScan(b *testing.B) {
+	f := bigList()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range followupRounds {
+			out, _ := ScanQuery(f.elems, fixtureAllowed, r.Offset, r.Count)
+			if len(out) != r.Count {
+				b.Fatalf("offset %d: %d elements", r.Offset, len(out))
+			}
+		}
+	}
+}
+
+// --- cached-server fixture ------------------------------------------
+
+type serverFixture struct {
+	cached   *server.Server
+	uncached *server.Server
+	toks     []crypt.Token
+}
+
+var (
+	srvOnce sync.Once
+	srvFix  *serverFixture
+)
+
+// servers builds (once) two servers over the same warmed 120k-element
+// backend — one with a result cache, one without — and a logged-in
+// token set covering half the groups, mirroring the follow-up
+// workload's visibility.
+func servers() *serverFixture {
+	srvOnce.Do(func() {
+		f := bigList()
+		secret := []byte("microbench-secret")
+		cached := server.NewWithBackend(secret, time.Hour, f.mem)
+		cached.SetCache(cache.New(64 << 20))
+		uncached := server.NewWithBackend(secret, time.Hour, f.mem)
+		cached.RegisterUser("bench", 0, 2, 4, 6)
+		toks, err := cached.Login(context.Background(), "bench")
+		if err != nil {
+			panic(err)
+		}
+		srvFix = &serverFixture{cached: cached, uncached: uncached, toks: toks}
+	})
+	return srvFix
+}
+
+// queryCached drives the repeated-query path — the same deep follow-up
+// windows over and over, as hot terms see — against the given server.
+func queryCached(b *testing.B, s *server.Server, toks []crypt.Token) {
+	ctx := context.Background()
+	// Warm outside the timer (fills the cache on the cached server).
+	for _, r := range followupRounds {
+		if _, err := s.Query(ctx, toks, fixtureList, r.Offset, r.Count); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range followupRounds {
+			resp, err := s.Query(ctx, toks, fixtureList, r.Offset, r.Count)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(resp.Elements) != r.Count {
+				b.Fatalf("offset %d: %d elements", r.Offset, len(resp.Elements))
+			}
+		}
+	}
+}
+
+// QueryCachedHit is the repeated-query path with the result cache on:
+// after the warm-up, every window is a version-checked cache hit.
+func QueryCachedHit(b *testing.B) {
+	f := servers()
+	queryCached(b, f.cached, f.toks)
+}
+
+// QueryCachedUncached is the identical workload with no cache — every
+// repetition pays the full probe-and-merge read.
+func QueryCachedUncached(b *testing.B) {
+	f := servers()
+	queryCached(b, f.uncached, f.toks)
+}
+
+// --- storage-engine appends -----------------------------------------
+
+// BenchElement builds a posting element with a sealed payload of
+// realistic size (crypt.SealElement emits ~60-70 bytes). Exported so
+// the go-test bench files (BenchmarkStoreRecover) feed the same
+// element shape this suite appends.
+func BenchElement(i int) store.Element {
+	sealed := make([]byte, 64)
+	for j := range sealed {
+		sealed[j] = byte(i >> (j % 4 * 8))
+	}
+	return store.Element{Sealed: sealed, TRS: float64(i % 997), Group: i % 8}
+}
+
+// StoreAppend measures the durable insert hot path (one WAL record
+// framed, checksummed and pushed per op; no fsync, no snapshots).
+func StoreAppend(b *testing.B) { storeAppend(b, false) }
+
+// StoreAppendFsync is StoreAppend with an fsync per operation.
+func StoreAppendFsync(b *testing.B) { storeAppend(b, true) }
+
+func storeAppend(b *testing.B, fsync bool) {
+	dir, err := os.MkdirTemp("", "microbench-wal-*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	d, err := store.OpenDurable(dir, store.Options{SnapshotEvery: -1, FsyncEach: fsync})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Insert(zerber.ListID(i%64), BenchElement(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// MemoryInsert is the RAM-only insert floor under StoreAppend.
+func MemoryInsert(b *testing.B) {
+	m := store.NewMemory()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Insert(zerber.ListID(i%64), BenchElement(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- end-to-end search ----------------------------------------------
+
+type searchFixture struct {
+	sys     *zerberr.System
+	cl      *client.Client
+	queries [][]corpus.TermID
+}
+
+var (
+	searchOnce sync.Once
+	searchFix  *searchFixture
+	searchErr  error
+)
+
+// searchSystem builds (once) a small indexed deployment and a
+// logged-in client, the multi-term query workload of the
+// serial-vs-batched comparison.
+func searchSystem() (*searchFixture, error) {
+	searchOnce.Do(func() {
+		p := corpus.ProfileStudIP()
+		p.NumDocs = 400
+		p.VocabSize = 4000
+		c := corpus.Generate(p, 5)
+		cfg := zerberr.DefaultConfig()
+		cfg.Seed = 5
+		cfg.Codec = crypt.Compact64Codec{}
+		sys, err := zerberr.Setup(c, cfg)
+		if err == nil {
+			err = sys.IndexAll()
+		}
+		if err != nil {
+			searchErr = err
+			return
+		}
+		cl, err := sys.NewClient(SearchUser)
+		if err != nil {
+			searchErr = err
+			return
+		}
+		terms := sys.Corpus.TermsByDF()
+		searchFix = &searchFixture{
+			sys: sys,
+			cl:  cl,
+			queries: [][]corpus.TermID{
+				{terms[0], terms[20], terms[200]},
+				{terms[5], terms[50], terms[300], terms[len(terms)/2]},
+			},
+		}
+	})
+	return searchFix, searchErr
+}
+
+// SearchUser is the registered reader of the SearchSystem fixture: a
+// transport-building caller logs in as it.
+const SearchUser = "microbench-searcher"
+
+// SearchSystem exposes the shared indexed deployment and query
+// workload, so the go-test harness can mount transport variants (the
+// HTTP legs of BenchmarkSearchSerialVsBatched) over the exact fixture
+// the suite's in-process entries measure.
+func SearchSystem() (*zerberr.System, [][]corpus.TermID, error) {
+	f, err := searchSystem()
+	if err != nil {
+		return nil, nil, err
+	}
+	return f.sys, f.queries, nil
+}
+
+// RunSearch drives the shared multi-term search workload against any
+// logged-in client — the single loop behind the suite's in-process
+// entries and the go-test harness's HTTP variants, so the measured
+// workload cannot drift between them. Reports round-trips and
+// list-requests per query alongside ns/op.
+func RunSearch(b *testing.B, cl *client.Client, queries [][]corpus.TermID, serial bool) {
+	var opts []client.SearchOption
+	if serial {
+		opts = append(opts, client.WithSerial())
+	}
+	ctx := context.Background()
+	rounds, requests := 0, 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, st, err := cl.Search(ctx, queries[i%len(queries)], 10, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds += st.Rounds
+		requests += st.Requests
+	}
+	b.ReportMetric(float64(rounds)/float64(b.N), "round-trips/query")
+	b.ReportMetric(float64(requests)/float64(b.N), "list-requests/query")
+}
+
+func searchBench(b *testing.B, serial bool) {
+	f, err := searchSystem()
+	if err != nil {
+		b.Fatal(err)
+	}
+	RunSearch(b, f.cl, f.queries, serial)
+}
+
+// SearchSerial is an in-process multi-term search over the serial v1
+// protocol (one round-trip per list request).
+func SearchSerial(b *testing.B) { searchBench(b, true) }
+
+// SearchBatched is the same workload over the batched v2 protocol.
+func SearchBatched(b *testing.B) { searchBench(b, false) }

@@ -28,6 +28,12 @@ type ListQuery struct {
 	List   zerber.ListID `json:"list"`
 	Offset int           `json:"offset"`
 	Count  int           `json:"count"`
+	// IfVersion, when set, makes the sub-query conditional: if the
+	// list's current version equals it, the response is just {Version,
+	// Unchanged: true} and the caller reuses the window it retained
+	// from an earlier response (the cluster router does this per
+	// shard). Any other version serves the full window as usual.
+	IfVersion *uint64 `json:"if_version,omitempty"`
 }
 
 // InsertOp is one element upload of a batched insert.
@@ -126,7 +132,7 @@ func (s *Server) QueryBatch(ctx context.Context, toks []crypt.Token, queries []L
 				errs[i] = err
 				return
 			}
-			out[i], errs[i] = s.queryAllowed(allowed, q.List, q.Offset, q.Count)
+			out[i], errs[i] = s.queryAllowed(allowed, q.List, q.Offset, q.Count, q.IfVersion)
 			if errs[i] != nil {
 				cancel()
 			}
@@ -298,10 +304,21 @@ func (s *Server) StatsV2(ctx context.Context) (StatsV2Response, error) {
 		elements += n
 	}
 	sort.Slice(per, func(i, j int) bool { return per[i].List < per[j].List })
-	return StatsV2Response{
+	resp := StatsV2Response{
 		Lists:    len(lists),
 		Elements: elements,
 		Backend:  s.backend.Name(),
 		PerList:  per,
-	}, nil
+	}
+	if cs, ok := s.CacheStats(); ok {
+		resp.Cache = &CacheStatsV2{
+			Hits:      cs.Hits,
+			Misses:    cs.Misses,
+			Evictions: cs.Evictions,
+			Entries:   cs.Entries,
+			Bytes:     cs.Bytes,
+			Capacity:  cs.Capacity,
+		}
+	}
+	return resp, nil
 }

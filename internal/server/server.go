@@ -18,8 +18,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"zerberr/internal/cache"
 	"zerberr/internal/crypt"
 	"zerberr/internal/store"
 	"zerberr/internal/zerber"
@@ -41,6 +43,16 @@ type QueryResponse struct {
 	// Exhausted reports that no further elements remain beyond this
 	// batch for the caller's access rights.
 	Exhausted bool `json:"exhausted"`
+	// Version is the list's mutation version the range was served at
+	// (store.Backend.Version). Callers may hold on to the response and
+	// later revalidate it for free with ListQuery.IfVersion: an equal
+	// version guarantees identical content. Always set (0 only for
+	// legacy empty lists that have never been mutated).
+	Version uint64 `json:"version,omitempty"`
+	// Unchanged reports that the sub-query carried an IfVersion equal
+	// to the list's current version: the caller's retained window is
+	// still exact, so Elements and Exhausted are omitted.
+	Unchanged bool `json:"unchanged,omitempty"`
 }
 
 // Errors returned by server operations.
@@ -73,6 +85,9 @@ type Server struct {
 	now      func() time.Time
 	members  map[string]map[int]bool
 	backend  store.Backend
+	// results is the optional query-result cache (nil = off). Atomic so
+	// the read path never takes s.mu for it.
+	results atomic.Pointer[cache.Cache]
 }
 
 // New creates a server with the given token-signing secret and an
@@ -101,6 +116,23 @@ func NewWithBackend(secret []byte, tokenTTL time.Duration, backend store.Backend
 
 // Close flushes and releases the storage backend.
 func (s *Server) Close() error { return s.backend.Close() }
+
+// SetCache installs (or, with nil, removes) a query-result cache. The
+// cache is consulted by Query and QueryBatch under version-stamped
+// keys, so it is always transparent: a mutation bumps the list version
+// and every window cached before it stops matching. A cache may be
+// installed or swapped while the server is serving traffic.
+func (s *Server) SetCache(c *cache.Cache) { s.results.Store(c) }
+
+// CacheStats reports the query-result cache counters; ok is false when
+// no cache is installed.
+func (s *Server) CacheStats() (cache.Stats, bool) {
+	c := s.results.Load()
+	if c == nil {
+		return cache.Stats{}, false
+	}
+	return c.Stats(), true
+}
 
 // SetClock overrides the server clock (tests).
 func (s *Server) SetClock(now func() time.Time) {
@@ -215,7 +247,7 @@ func (s *Server) Query(ctx context.Context, toks []crypt.Token, list zerber.List
 	if err != nil {
 		return QueryResponse{}, err
 	}
-	return s.queryAllowed(allowed, list, offset, count)
+	return s.queryAllowed(allowed, list, offset, count, nil)
 }
 
 // queryAllowed is Query past token validation: batch sub-queries
@@ -223,7 +255,39 @@ func (s *Server) Query(ctx context.Context, toks []crypt.Token, list zerber.List
 // per sub-query. The access-filtered ranked range is the backend's
 // own hot path (per-group sorted sub-lists merged from the requested
 // offset), so a sub-query costs the range, not the list.
-func (s *Server) queryAllowed(allowed map[int]bool, list zerber.ListID, offset, count int) (QueryResponse, error) {
+//
+// With a cache installed, the window is looked up under the list's
+// current version first; a hit skips the backend read entirely and is
+// element-identical to it (equal versions guarantee equal content). A
+// non-nil ifVersion equal to the current version short-circuits even
+// further: the caller has the window already, so only (Version,
+// Unchanged) comes back.
+func (s *Server) queryAllowed(allowed map[int]bool, list zerber.ListID, offset, count int, ifVersion *uint64) (QueryResponse, error) {
+	c := s.results.Load()
+	var key cache.Key
+	if c != nil {
+		// Built once per sub-query; only the Version field differs
+		// between the lookup and a later fill.
+		key = cache.Key{List: list, Groups: cache.GroupsKey(allowed), Offset: offset, Count: count}
+	}
+	if c != nil || ifVersion != nil {
+		ver, err := s.backend.Version(list)
+		switch {
+		case errors.Is(err, store.ErrUnknownList):
+			return QueryResponse{}, fmt.Errorf("%w: %d", ErrUnknownList, list)
+		case err != nil:
+			return QueryResponse{}, err
+		}
+		if ifVersion != nil && *ifVersion == ver {
+			return QueryResponse{Version: ver, Unchanged: true}, nil
+		}
+		if c != nil {
+			key.Version = ver
+			if res, ok := c.Get(key); ok {
+				return QueryResponse{Elements: res.Elements, Exhausted: res.Exhausted, Version: res.Version}, nil
+			}
+		}
+	}
 	res, err := s.backend.Query(list, allowed, offset, count)
 	if errors.Is(err, store.ErrUnknownList) {
 		return QueryResponse{}, fmt.Errorf("%w: %d", ErrUnknownList, list)
@@ -231,7 +295,15 @@ func (s *Server) queryAllowed(allowed map[int]bool, list zerber.ListID, offset, 
 	if err != nil {
 		return QueryResponse{}, err
 	}
-	return QueryResponse{Elements: res.Elements, Exhausted: res.Exhausted}, nil
+	if c != nil {
+		// Keyed by the version the backend read the window at (observed
+		// atomically with it), which may already be newer than the
+		// version checked above — either way the entry is exact for its
+		// key. Payloads are aliased into the cache, never copied.
+		key.Version = res.Version
+		c.Put(key, res)
+	}
+	return QueryResponse{Elements: res.Elements, Exhausted: res.Exhausted, Version: res.Version}, nil
 }
 
 // Remove deletes the element whose sealed payload matches exactly,

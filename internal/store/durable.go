@@ -1,7 +1,10 @@
 package store
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"sync"
@@ -12,9 +15,10 @@ import (
 
 // File names inside a Durable data directory.
 const (
-	walFileName  = "wal.zwal"
-	snapFileName = "snapshot.zsnap"
-	lockFileName = "LOCK"
+	walFileName   = "wal.zwal"
+	snapFileName  = "snapshot.zsnap"
+	lockFileName  = "LOCK"
+	epochFileName = "epoch"
 )
 
 // Options tunes a Durable store. The zero value is a sensible default.
@@ -83,6 +87,18 @@ func OpenDurable(dir string, opt Options) (*Durable, error) {
 	if err != nil {
 		return fail(fmt.Errorf("store: loading snapshot: %w", err))
 	}
+	// The version epoch is fixed per data directory (created on first
+	// open, durable before any mutation can be logged): WAL replay
+	// re-creates post-snapshot lists with the same epoch it used live,
+	// so a recovered store reports bit-identical versions — replay
+	// reproduces the identical mutation history, which is exactly when
+	// version reuse is sound. Only wiping the directory (content gone)
+	// mints a new epoch.
+	epoch, err := loadOrCreateEpoch(filepath.Join(dir, epochFileName))
+	if err != nil {
+		return fail(fmt.Errorf("store: version epoch: %w", err))
+	}
+	mem.verBase = epoch
 	walPath := filepath.Join(dir, walFileName)
 	maxSeq, err := replayWAL(walPath, snapSeq, func(rec walRecord) {
 		switch rec.op {
@@ -92,7 +108,7 @@ func OpenDurable(dir string, opt Options) (*Durable, error) {
 			// A remove that no longer matches (its insert was folded
 			// into the snapshot differently, or the log was truncated
 			// between the pair) is a no-op, not corruption.
-			_, _ = mem.remove(rec.list, rec.sealed, nil)
+			_, _ = mem.remove(rec.list, rec.sealed, nil, nil)
 		}
 	})
 	if err != nil {
@@ -103,6 +119,47 @@ func OpenDurable(dir string, opt Options) (*Durable, error) {
 		return fail(fmt.Errorf("store: opening WAL: %w", err))
 	}
 	return &Durable{mem: mem, dir: dir, opt: opt, wal: w, lock: lock, seq: maxSeq}, nil
+}
+
+// loadOrCreateEpoch reads the directory's persisted version epoch, or
+// mints and durably writes one on first open (8 bytes big-endian;
+// written to a temp file and renamed so a crash mid-create leaves
+// either nothing or a complete epoch).
+func loadOrCreateEpoch(path string) (uint64, error) {
+	raw, err := os.ReadFile(path)
+	if err == nil {
+		if len(raw) != 8 {
+			return 0, fmt.Errorf("epoch file is %d bytes, want 8", len(raw))
+		}
+		return binary.BigEndian.Uint64(raw), nil
+	}
+	if !errors.Is(err, os.ErrNotExist) {
+		return 0, err
+	}
+	epoch := uint64(rand.Uint32()) << 32
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], epoch)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(tmp)
+	if _, err := f.Write(buf[:]); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return 0, err
+	}
+	return epoch, syncDir(filepath.Dir(path))
 }
 
 // logLocked assigns the next sequence and appends the record. Callers
@@ -190,27 +247,32 @@ func (d *Durable) Insert(list zerber.ListID, el Element) error {
 	return nil
 }
 
-// Remove implements Backend. The ACL predicate runs against memory
-// first; only an accepted removal reaches the log, so replay never has
-// to re-evaluate access control.
+// Remove implements Backend. The removal commits to memory and the
+// log as one step under the list's write lock: the ACL predicate
+// observes the victim, the record is appended, and only a successful
+// append mutates the list. So an ACL-rejected removal never reaches
+// the log, a failed append leaves the list — content *and* version —
+// exactly as it was (no rollback that would burn unlogged version
+// bumps; recovery must be able to reproduce every version a reader
+// may have observed), and no reader can ever see a removal the log
+// does not hold.
+//
+// The price is that readers of the same list wait out the append —
+// a buffered write normally, a real fsync under FsyncEach. That is
+// deliberate: moving the fsync after the lock would let a reader
+// observe a version whose record the OS may still lose, which is the
+// exact unlogged-bump hazard this ordering exists to close. Writers
+// already serialize on d.mu, so only the removed list's readers pay.
 func (d *Durable) Remove(list zerber.ListID, sealed []byte, allow func(group int) bool) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed.Load() {
 		return ErrClosed
 	}
-	removed, err := d.mem.remove(list, sealed, allow)
+	_, err := d.mem.remove(list, sealed, allow, func(Element) error {
+		return d.logLocked(walRecord{op: opRemove, list: list, sealed: sealed})
+	})
 	if err != nil {
-		return err
-	}
-	// Memory no longer holds the element; a crash before this append
-	// loses only an un-acknowledged removal, which reappears on
-	// restart — the client retries. The reverse order would ack
-	// removals the ACL rejected. If the append fails while the
-	// process lives on, put the element back so live and recovered
-	// state stay identical.
-	if err := d.logLocked(walRecord{op: opRemove, list: list, sealed: sealed}); err != nil {
-		_ = d.mem.Insert(list, removed)
 		return err
 	}
 	d.maybeSnapshotLocked()
@@ -267,6 +329,18 @@ func (d *Durable) Query(list zerber.ListID, allowed map[int]bool, offset, count 
 		return QueryResult{}, ErrClosed
 	}
 	return d.mem.Query(list, allowed, offset, count)
+}
+
+// Version implements Backend. Versions survive restarts: snapshots
+// record each list's counter and WAL replay re-applies the logged
+// mutations (each bumping it once), so the recovered counter equals
+// the pre-crash one and keeps climbing from there — a cached window
+// keyed by an old version can never be revalidated by coincidence.
+func (d *Durable) Version(list zerber.ListID) (uint64, error) {
+	if d.closed.Load() {
+		return 0, ErrClosed
+	}
+	return d.mem.Version(list)
 }
 
 // View implements Backend.

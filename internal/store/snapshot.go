@@ -17,19 +17,29 @@ import (
 // Snapshot format (integers are unsigned varints unless noted, floats
 // 64-bit IEEE big-endian):
 //
-//	magic "ZSNAP1" | body | crc32-IEEE(body) (4B big-endian)
+//	magic "ZSNAP2" | body | crc32-IEEE(body) (4B big-endian)
 //	body: seq | numLists |
-//	  numLists × ( listID | numElems |
+//	  numLists × ( listID | version | numElems |
 //	    numElems × ( group (signed varint) | trs (8B) |
 //	                 sealedLen | sealed ) )
 //
 // Elements are written in rank order, so recovery can serve queries
 // without re-sorting. seq is the last WAL sequence number the snapshot
-// contains; recovery replays only WAL records beyond it. Snapshots are
+// contains; recovery replays only WAL records beyond it. version is
+// the list's mutation counter at snapshot time (Backend.Version):
+// persisting it keeps versions monotonic across restarts, the property
+// the query-result cache's invalidation rests on. Snapshots are
 // written to a temp file and renamed into place, so a crash mid-write
 // leaves the previous snapshot intact.
+//
+// The previous "ZSNAP1" format (identical minus the per-list version)
+// is still readable: its lists recover with version = numElems, the
+// lowest counter a live list of that size can ever have had.
 
-var snapMagic = []byte("ZSNAP1")
+var snapMagic = []byte("ZSNAP2")
+
+// snapMagicV1 is the pre-version snapshot format, accepted on read.
+var snapMagicV1 = []byte("ZSNAP1")
 
 // ErrBadSnapshot reports a corrupted or truncated snapshot file.
 var ErrBadSnapshot = errors.New("store: bad snapshot")
@@ -92,9 +102,16 @@ func encodeSnapshot(f io.Writer, seq uint64, m *Memory) error {
 	}
 	var f8 [8]byte
 	for _, id := range lists {
+		version, verr := m.Version(id)
+		if verr != nil && !errors.Is(verr, ErrUnknownList) {
+			return verr
+		}
 		var viewErr error
 		err := m.View(id, func(elems []Element) {
 			if viewErr = writeUvarint(uint64(id)); viewErr != nil {
+				return
+			}
+			if viewErr = writeUvarint(version); viewErr != nil {
 				return
 			}
 			if viewErr = writeUvarint(uint64(len(elems))); viewErr != nil {
@@ -121,6 +138,9 @@ func encodeSnapshot(f io.Writer, seq uint64, m *Memory) error {
 			// remove); write it as empty to keep the count honest.
 			if errors.Is(err, ErrUnknownList) {
 				if err := writeUvarint(uint64(id)); err != nil {
+					return err
+				}
+				if err := writeUvarint(version); err != nil {
 					return err
 				}
 				if err := writeUvarint(0); err != nil {
@@ -153,7 +173,15 @@ func readSnapshot(path string) (seq uint64, m *Memory, _ error) {
 	if err != nil {
 		return 0, nil, err
 	}
-	if len(data) < len(snapMagic)+4 || string(data[:len(snapMagic)]) != string(snapMagic) {
+	if len(data) < len(snapMagic)+4 {
+		return 0, nil, fmt.Errorf("%w: missing magic", ErrBadSnapshot)
+	}
+	hasVersions := true
+	switch string(data[:len(snapMagic)]) {
+	case string(snapMagic):
+	case string(snapMagicV1):
+		hasVersions = false
+	default:
 		return 0, nil, fmt.Errorf("%w: missing magic", ErrBadSnapshot)
 	}
 	body := data[len(snapMagic) : len(data)-4]
@@ -174,6 +202,12 @@ func readSnapshot(path string) (seq uint64, m *Memory, _ error) {
 		id, err := binary.ReadUvarint(rd)
 		if err != nil {
 			return 0, nil, fmt.Errorf("%w: list %d: %v", ErrBadSnapshot, i, err)
+		}
+		var version uint64
+		if hasVersions {
+			if version, err = binary.ReadUvarint(rd); err != nil {
+				return 0, nil, fmt.Errorf("%w: list %d: %v", ErrBadSnapshot, i, err)
+			}
 		}
 		n, err := binary.ReadUvarint(rd)
 		if err != nil {
@@ -206,7 +240,14 @@ func readSnapshot(path string) (seq uint64, m *Memory, _ error) {
 				Group:  int(group),
 			}
 		}
-		m.load(zerber.ListID(id), elems, true)
+		if !hasVersions {
+			// Legacy snapshot: the counter was not recorded. numElems is
+			// the lowest value a live list of this size can have had
+			// (every element cost at least one insert), so it is the
+			// safest monotone seed available.
+			version = uint64(len(elems))
+		}
+		m.load(zerber.ListID(id), elems, true, version)
 	}
 	if rd.remaining() != 0 {
 		return 0, nil, fmt.Errorf("%w: %d trailing bytes", ErrBadSnapshot, rd.remaining())

@@ -22,6 +22,7 @@ package store
 import (
 	"bytes"
 	"errors"
+	"math/rand"
 	"sort"
 	"sync"
 
@@ -81,6 +82,11 @@ type QueryResult struct {
 	// range, i.e. the filtered view holds at most offset+count
 	// elements.
 	Exhausted bool
+	// Version is the list's mutation version the range was read at
+	// (see Backend.Version). It is observed atomically with Elements,
+	// so a result cache keyed by it can never mix content from two
+	// versions.
+	Version uint64
 }
 
 // Backend is the storage engine beneath server.Server. All
@@ -104,6 +110,16 @@ type Backend interface {
 	// to offset plus the size of the range, not the length of the
 	// list. offset must be non-negative and count positive.
 	Query(list zerber.ListID, allowed map[int]bool, offset, count int) (QueryResult, error)
+	// Version reports the list's mutation version: a per-list counter,
+	// monotonic within a backend instance, bumped by every content
+	// change (insert or successful remove). The durable backend
+	// persists it through snapshots and WAL replay; fresh lists seed it
+	// with a random per-instance epoch in the high bits, so no version
+	// is ever reused across restarts either. Two reads of one list
+	// returning the same version are guaranteed to have observed
+	// identical content, which is what makes version-keyed result
+	// caching sound. Unknown lists are ErrUnknownList.
+	Version(list zerber.ListID) (uint64, error)
 	// View calls fn with the list's elements in rank order (descending
 	// TRS). The slice is only valid during the call: fn must not
 	// retain or mutate it. It materializes the full merged list —
@@ -137,6 +153,15 @@ type Backend interface {
 type Memory struct {
 	mu    sync.RWMutex
 	lists map[zerber.ListID]*mergedList
+	// verBase seeds every freshly created list's version counter: a
+	// random per-instance epoch in the high 32 bits. A restarted
+	// RAM-only server (or a list recovered only from the WAL tail)
+	// therefore cannot re-reach a version observed before the restart
+	// by re-counting to it — which is what lets an out-of-process
+	// window cache (the cluster router) trust version equality across
+	// its shards' lifetimes. Lists loaded from a snapshot keep their
+	// persisted absolute counter instead.
+	verBase uint64
 }
 
 // relem is a stored element plus its list-local insertion sequence.
@@ -172,6 +197,10 @@ type mergedList struct {
 	groups  map[int]*groupList
 	total   int
 	nextSeq uint64
+	// version counts content changes (inserts and successful removes).
+	// Reads report it so ranged windows can be cached under a key that
+	// a later mutation transparently invalidates.
+	version uint64
 }
 
 // groupList is one group's slice of a merged list.
@@ -215,7 +244,10 @@ func (g *groupList) compact() {
 
 // NewMemory creates an empty in-memory backend.
 func NewMemory() *Memory {
-	return &Memory{lists: make(map[zerber.ListID]*mergedList)}
+	return &Memory{
+		lists:   make(map[zerber.ListID]*mergedList),
+		verBase: uint64(rand.Uint32()) << 32,
+	}
 }
 
 // Name implements Backend.
@@ -232,7 +264,7 @@ func (m *Memory) list(id zerber.ListID, create bool) *mergedList {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if ml = m.lists[id]; ml == nil {
-		ml = &mergedList{groups: make(map[int]*groupList)}
+		ml = &mergedList{groups: make(map[int]*groupList), version: m.verBase}
 		m.lists[id] = ml
 	}
 	return ml
@@ -258,6 +290,7 @@ func (m *Memory) insert(list zerber.ListID, el Element) {
 	g.pending = append(g.pending, relem{Element: el, seq: ml.nextSeq})
 	ml.nextSeq++
 	ml.total++
+	ml.version++
 	ml.mu.Unlock()
 }
 
@@ -265,15 +298,19 @@ func (m *Memory) insert(list zerber.ListID, el Element) {
 // (and keeps answering queries with an empty, exhausted view) — the
 // original server semantics.
 func (m *Memory) Remove(list zerber.ListID, sealed []byte, allow func(group int) bool) error {
-	_, err := m.remove(list, sealed, allow)
+	_, err := m.remove(list, sealed, allow, nil)
 	return err
 }
 
-// remove deletes the rank-first element whose payload matches and
-// returns it so a caller whose follow-up work fails can reinsert it
-// (Durable's WAL rollback). The ACL predicate observes exactly the
-// element that would be removed.
-func (m *Memory) remove(list zerber.ListID, sealed []byte, allow func(group int) bool) (Element, error) {
+// remove deletes the rank-first element whose payload matches. The ACL
+// predicate observes exactly the element that would be removed. A
+// non-nil commit runs after the ACL accepts and before anything
+// changes, still under the list's write lock — Durable's WAL append
+// lives there, so memory content, the version counter and the log
+// advance atomically with respect to every reader: a failed commit
+// aborts with the list (and its version) untouched and nothing
+// intermediate ever observable.
+func (m *Memory) remove(list zerber.ListID, sealed []byte, allow func(group int) bool, commit func(Element) error) (Element, error) {
 	ml := m.list(list, false)
 	if ml == nil {
 		return Element{}, ErrUnknownList
@@ -313,12 +350,18 @@ func (m *Memory) remove(list zerber.ListID, sealed []byte, allow func(group int)
 	if allow != nil && !allow(best.Group) {
 		return Element{}, ErrDenied
 	}
+	if commit != nil {
+		if err := commit(best.Element); err != nil {
+			return Element{}, err
+		}
+	}
 	if bestPen {
 		bestG.pending = append(bestG.pending[:bestIdx], bestG.pending[bestIdx+1:]...)
 	} else {
 		bestG.sorted = append(bestG.sorted[:bestIdx], bestG.sorted[bestIdx+1:]...)
 	}
 	ml.total--
+	ml.version++
 	return best.Element, nil
 }
 
@@ -363,7 +406,20 @@ func (m *Memory) Query(list zerber.ListID, allowed map[int]bool, offset, count i
 	}
 	unlock := ml.lockSorted(allowed)
 	defer unlock()
-	return ml.queryLocked(allowed, offset, count), nil
+	res := ml.queryLocked(allowed, offset, count)
+	res.Version = ml.version
+	return res, nil
+}
+
+// Version implements Backend.
+func (m *Memory) Version(list zerber.ListID) (uint64, error) {
+	ml := m.list(list, false)
+	if ml == nil {
+		return 0, ErrUnknownList
+	}
+	ml.mu.RLock()
+	defer ml.mu.RUnlock()
+	return ml.version, nil
 }
 
 // queryLocked answers a ranged read over the allowed groups' sorted
@@ -542,9 +598,13 @@ func (m *Memory) Close() error { return nil }
 // elements are assumed already rank-sorted when sorted is true — their
 // slice order then becomes the tie-breaking insertion order, exactly
 // what the stable sort that produced the snapshot encoded. Empty lists
-// are kept present, mirroring live state after removals.
-func (m *Memory) load(list zerber.ListID, elems []Element, sorted bool) {
-	ml := &mergedList{groups: make(map[int]*groupList)}
+// are kept present, mirroring live state after removals. version seeds
+// the list's mutation counter with the value the snapshot recorded, so
+// recovery resumes the counter instead of restarting it (a restarted
+// counter could re-reach an old version with different content,
+// validating stale cached windows).
+func (m *Memory) load(list zerber.ListID, elems []Element, sorted bool, version uint64) {
+	ml := &mergedList{groups: make(map[int]*groupList), version: version}
 	for _, el := range elems {
 		g := ml.groups[el.Group]
 		if g == nil {
