@@ -54,6 +54,15 @@ func BenchmarkQueryCached(b *testing.B) {
 	b.Run("uncached", microbench.QueryCachedUncached)
 }
 
+// BenchmarkInstrumentedQuery is BenchmarkQueryCached/hit with the ops
+// plane armed: a live metrics registry observing every round and
+// admission control checking (never refusing) every op. The delta
+// against the plain cached hit is the full hot-path cost of
+// observability — the CI gate keeps it under a few percent.
+func BenchmarkInstrumentedQuery(b *testing.B) {
+	b.Run("hit", microbench.QueryInstrumentedHit)
+}
+
 func BenchmarkStoreRecover(b *testing.B) {
 	const elements = 20000
 	for _, mode := range []struct {

@@ -23,7 +23,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
@@ -34,9 +34,17 @@ import (
 	"zerberr/internal/microbench"
 )
 
+// logger keeps progress on stderr (structured), leaving stdout to the
+// experiment renders and the JSON stream.
+var logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+// fatal logs the failure and exits non-zero.
+func fatal(msg string, args ...any) {
+	logger.Error(msg, args...)
+	os.Exit(1)
+}
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("zerber-bench: ")
 	var (
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
 		run      = flag.String("run", "all", "experiment ID to run, or 'all'")
@@ -64,7 +72,7 @@ func main() {
 	env.Batched = *batched
 	if !*quiet {
 		env.Logf = func(format string, args ...interface{}) {
-			log.Printf(format, args...)
+			logger.Info(fmt.Sprintf(format, args...))
 		}
 	}
 
@@ -76,19 +84,19 @@ func main() {
 		start := time.Now()
 		res, err := experiments.Run(strings.TrimSpace(id), env)
 		if err != nil {
-			log.Fatalf("%s: %v", id, err)
+			fatal("experiment failed", "id", id, "err", err)
 		}
 		fmt.Println(res.Render())
 		if !*quiet {
-			log.Printf("%s finished in %v", id, time.Since(start).Round(time.Millisecond))
+			logger.Info("experiment finished", "id", id, "elapsed", time.Since(start).Round(time.Millisecond))
 		}
 		if *csvDir != "" {
 			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-				log.Fatalf("creating %s: %v", *csvDir, err)
+				fatal("creating CSV directory failed", "dir", *csvDir, "err", err)
 			}
 			path := filepath.Join(*csvDir, res.ID+".csv")
 			if err := os.WriteFile(path, []byte(res.CSV()), 0o644); err != nil {
-				log.Fatalf("writing %s: %v", path, err)
+				fatal("writing CSV failed", "path", path, "err", err)
 			}
 		}
 	}
@@ -112,11 +120,11 @@ func runMicrobenchJSON(quiet bool) {
 	enc := json.NewEncoder(os.Stdout)
 	for _, bench := range microbench.Suite() {
 		if !quiet {
-			log.Printf("running %s", bench.Name)
+			logger.Info("running benchmark", "name", bench.Name)
 		}
 		res := testing.Benchmark(bench.F)
 		if res.N == 0 {
-			log.Fatalf("%s: benchmark did not run (failed inside testing.Benchmark)", bench.Name)
+			fatal("benchmark did not run (failed inside testing.Benchmark)", "name", bench.Name)
 		}
 		line := benchLine{
 			Name:        bench.Name,
@@ -125,7 +133,7 @@ func runMicrobenchJSON(quiet bool) {
 			BytesPerOp:  res.AllocedBytesPerOp(),
 		}
 		if err := enc.Encode(line); err != nil {
-			log.Fatal(err)
+			fatal("encoding benchmark line failed", "err", err)
 		}
 	}
 }

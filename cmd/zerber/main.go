@@ -29,13 +29,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
 	"syscall"
+	"text/tabwriter"
+	"time"
 
 	"zerberr/internal/client"
 	"zerberr/internal/corpus"
@@ -45,9 +47,17 @@ import (
 	"zerberr/internal/zerber"
 )
 
+// logger is the CLI's structured logger; diagnostics go to stderr,
+// command output to stdout.
+var logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+// fatal logs the failure and exits non-zero.
+func fatal(msg string, args ...any) {
+	logger.Error(msg, args...)
+	os.Exit(1)
+}
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("zerber: ")
 	if len(os.Args) < 2 {
 		usage()
 	}
@@ -118,14 +128,14 @@ func cmdInit(args []string) {
 	seed := fs.Uint64("seed", 1, "deterministic seed")
 	_ = fs.Parse(args)
 	if *docs == "" {
-		log.Fatal("init: -docs is required")
+		fatal("init: -docs is required")
 	}
 	raws, _, err := loadDocs(*docs)
 	if err != nil {
-		log.Fatal(err)
+		fatal("loading documents failed", "err", err)
 	}
 	c := corpus.Ingest(raws, nil)
-	log.Printf("ingested %d docs, %d distinct terms, %d groups", c.NumDocs(), c.DistinctTerms(), c.Groups)
+	logger.Info("ingested corpus", "docs", c.NumDocs(), "terms", c.DistinctTerms(), "groups", c.Groups)
 
 	split := corpus.NewSplit(c, 1.0, 0.33, *seed)
 	store := rstf.TrainStore(
@@ -135,30 +145,30 @@ func cmdInit(args []string) {
 	)
 	plan, err := zerber.BFM(zerber.FromCorpus(c), *r)
 	if err != nil {
-		log.Fatalf("building merge plan: %v", err)
+		fatal("building merge plan failed", "err", err)
 	}
 	if err := plan.Verify(); err != nil {
-		log.Fatalf("merge plan verification: %v", err)
+		fatal("merge plan verification failed", "err", err)
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		log.Fatal(err)
+		fatal("creating output directory failed", "err", err)
 	}
 	writeArtifact(filepath.Join(*out, "plan.bin"), plan.WriteTo)
 	writeArtifact(filepath.Join(*out, "rstf.bin"), store.WriteTo)
 	writeVocab(filepath.Join(*out, "vocab.txt"), c)
-	log.Printf("initialized: %d merged lists (r=%g), %d trained terms -> %s", plan.NumLists(), *r, store.Len(), *out)
+	logger.Info("initialized", "lists", plan.NumLists(), "r", *r, "trained_terms", store.Len(), "out", *out)
 }
 
 func writeArtifact(path string, write func(w io.Writer) (int64, error)) {
 	f, err := os.Create(path)
 	if err != nil {
-		log.Fatal(err)
+		fatal("creating artifact failed", "path", path, "err", err)
 	}
 	if _, err := write(f); err != nil {
-		log.Fatalf("writing %s: %v", path, err)
+		fatal("writing artifact failed", "path", path, "err", err)
 	}
 	if err := f.Close(); err != nil {
-		log.Fatal(err)
+		fatal("closing artifact failed", "path", path, "err", err)
 	}
 }
 
@@ -171,7 +181,7 @@ func writeVocab(path string, c *corpus.Corpus) {
 		b.WriteByte('\n')
 	}
 	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
-		log.Fatal(err)
+		fatal("writing vocabulary failed", "path", path, "err", err)
 	}
 }
 
@@ -185,25 +195,25 @@ type artifacts struct {
 func loadArtifacts(dir string) artifacts {
 	pf, err := os.Open(filepath.Join(dir, "plan.bin"))
 	if err != nil {
-		log.Fatal(err)
+		fatal("opening merge plan failed", "err", err)
 	}
 	defer pf.Close()
 	plan, err := zerber.ReadPlan(pf)
 	if err != nil {
-		log.Fatalf("reading plan: %v", err)
+		fatal("reading merge plan failed", "err", err)
 	}
 	sf, err := os.Open(filepath.Join(dir, "rstf.bin"))
 	if err != nil {
-		log.Fatal(err)
+		fatal("opening RSTF store failed", "err", err)
 	}
 	defer sf.Close()
 	store, err := rstf.ReadStore(sf)
 	if err != nil {
-		log.Fatalf("reading RSTF store: %v", err)
+		fatal("reading RSTF store failed", "err", err)
 	}
 	vb, err := os.ReadFile(filepath.Join(dir, "vocab.txt"))
 	if err != nil {
-		log.Fatal(err)
+		fatal("reading vocabulary failed", "err", err)
 	}
 	vocab := map[string]corpus.TermID{}
 	for i, line := range strings.Split(strings.TrimRight(string(vb), "\n"), "\n") {
@@ -223,16 +233,19 @@ func newClient(ctx context.Context, art artifacts, serverURL, user, pass string,
 	for g := 0; g < groups; g++ {
 		keys[g] = crypt.KeyFromPassphrase(groupPassphrase(pass, g))
 	}
-	cl, err := client.New(client.HTTP{BaseURL: serverURL}, client.Config{
+	// The CLI transport is self-healing: transient 429/503/5xx blips
+	// and dropped connections are retried with backoff (see
+	// internal/client/retry.go) instead of failing the command.
+	cl, err := client.New(client.HTTP{BaseURL: serverURL, Retry: client.DefaultRetryPolicy()}, client.Config{
 		Plan:  art.plan,
 		Store: art.store,
 		Keys:  keys,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal("building client failed", "err", err)
 	}
 	if err := cl.Login(ctx, user); err != nil {
-		log.Fatalf("login: %v", err)
+		fatal("login failed", "user", user, "err", err)
 	}
 	return cl
 }
@@ -247,21 +260,21 @@ func cmdIndex(ctx context.Context, args []string) {
 	groups := fs.Int("groups", 16, "number of group keys to derive")
 	_ = fs.Parse(args)
 	if *docs == "" || *user == "" || *pass == "" {
-		log.Fatal("index: -docs, -user and -pass are required")
+		fatal("index: -docs, -user and -pass are required")
 	}
 	raws, names, err := loadDocs(*docs)
 	if err != nil {
-		log.Fatal(err)
+		fatal("loading documents failed", "err", err)
 	}
 	c := corpus.Ingest(raws, nil)
 	art := loadArtifacts(*artDir)
 	cl := newClient(ctx, art, *serverURL, *user, *pass, *groups)
 	for i, d := range c.Docs {
 		if err := cl.IndexDocument(ctx, d, d.Group); err != nil {
-			log.Fatalf("indexing %s: %v", names[i], err)
+			fatal("indexing document failed", "doc", names[i], "err", err)
 		}
 	}
-	log.Printf("indexed %d documents", c.NumDocs())
+	logger.Info("indexed documents", "count", c.NumDocs())
 }
 
 func cmdQuery(ctx context.Context, args []string) {
@@ -278,7 +291,7 @@ func cmdQuery(ctx context.Context, args []string) {
 	_ = fs.Parse(args)
 	terms := fs.Args()
 	if *user == "" || *pass == "" || len(terms) == 0 {
-		log.Fatal("query: -user, -pass and at least one query term are required")
+		fatal("query: -user, -pass and at least one query term are required")
 	}
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -291,13 +304,13 @@ func cmdQuery(ctx context.Context, args []string) {
 	for _, term := range terms {
 		id, ok := art.vocab[strings.ToLower(term)]
 		if !ok {
-			log.Printf("term %q not in vocabulary, skipping", term)
+			logger.Warn("term not in vocabulary, skipping", "term", term)
 			continue
 		}
 		ids = append(ids, id)
 	}
 	if len(ids) == 0 {
-		log.Fatal("no known query terms")
+		fatal("no known query terms")
 	}
 	var opts []client.SearchOption
 	if *serial {
@@ -309,7 +322,7 @@ func cmdQuery(ctx context.Context, args []string) {
 		round := 0
 		for snap, err := range cl.SearchStream(ctx, ids, *k, opts...) {
 			if err != nil {
-				log.Fatal(err)
+				fatal("search failed", "err", err)
 			}
 			round++
 			top := snap.Results
@@ -326,7 +339,7 @@ func cmdQuery(ctx context.Context, args []string) {
 		var err error
 		results, stats, err = cl.Search(ctx, ids, *k, opts...)
 		if err != nil {
-			log.Fatal(err)
+			fatal("search failed", "err", err)
 		}
 	}
 	sort.SliceStable(results, func(i, j int) bool { return results[i].Score > results[j].Score })
@@ -339,20 +352,60 @@ func cmdQuery(ctx context.Context, args []string) {
 
 func cmdStatus(ctx context.Context, args []string) {
 	fs := flag.NewFlagSet("status", flag.ExitOnError)
-	serverURL := fs.String("server", "http://localhost:8021", "index server URL")
+	serverURL := fs.String("server", "http://localhost:8021", "index server URL; comma-separate several to view a cluster's shards")
+	lists := fs.Bool("lists", false, "also print per-list element counts (single server only)")
 	_ = fs.Parse(args)
-	st, err := client.HTTP{BaseURL: *serverURL}.Stats(ctx)
-	if err != nil {
-		log.Fatal(err)
+
+	urls := strings.Split(*serverURL, ",")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "SHARD\tBACKEND\tLISTS\tELEMENTS\tQ-P50\tQ-P95\tQ-P99\tCACHE-HIT\tWAL-FSYNC-P99\tLIMITED\tSHED\tHEALTH")
+	var single *client.HTTP
+	for i, u := range urls {
+		u = strings.TrimSpace(u)
+		h := client.HTTP{BaseURL: u, Retry: client.DefaultRetryPolicy()}
+		st, err := h.Stats(ctx)
+		if err != nil {
+			fmt.Fprintf(w, "%d\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\tunreachable: %v\n", i, err)
+			continue
+		}
+		if len(urls) == 1 {
+			single = &h
+		}
+		p50, p95, p99, fsync, limited, shed := "-", "-", "-", "-", "-", "-"
+		if o := st.Ops; o != nil {
+			p50, p95, p99 = fmtLatency(o.QueryP50), fmtLatency(o.QueryP95), fmtLatency(o.QueryP99)
+			fsync = fmtLatency(o.WALFsyncP99)
+			limited = fmt.Sprint(o.RateLimited)
+			shed = fmt.Sprint(o.Shed)
+		}
+		hitRate := "-"
+		if c := st.Cache; c != nil {
+			if total := c.Hits + c.Misses; total > 0 {
+				hitRate = fmt.Sprintf("%.1f%%", 100*float64(c.Hits)/float64(total))
+			} else {
+				hitRate = "0.0%"
+			}
+		}
+		fmt.Fprintf(w, "%d\t%s\t%d\t%d\t%s\t%s\t%s\t%s\t%s\t%s\t%s\tok\n",
+			i, st.Backend, st.Lists, st.Elements, p50, p95, p99, hitRate, fsync, limited, shed)
 	}
-	fmt.Printf("backend: %s\n", st.Backend)
-	fmt.Printf("lists:   %d\n", st.Lists)
-	fmt.Printf("elements: %d\n", st.Elements)
-	if c := st.Cache; c != nil {
-		fmt.Printf("cache:   %d hits, %d misses, %d evictions (%d windows, %d/%d bytes)\n",
-			c.Hits, c.Misses, c.Evictions, c.Entries, c.Bytes, c.Capacity)
+	w.Flush()
+	if single != nil && *lists {
+		st, err := single.Stats(ctx)
+		if err != nil {
+			fatal("fetching stats failed", "err", err)
+		}
+		for _, ls := range st.PerList {
+			fmt.Printf("  list %-6d %d elements\n", ls.List, ls.Elements)
+		}
 	}
-	for _, ls := range st.PerList {
-		fmt.Printf("  list %-6d %d elements\n", ls.List, ls.Elements)
+}
+
+// fmtLatency renders a latency estimate for the status table; zero
+// (no observations, or an uninstrumented server) prints as "-".
+func fmtLatency(secs float64) string {
+	if secs <= 0 {
+		return "-"
 	}
+	return time.Duration(secs * float64(time.Second)).Round(10 * time.Microsecond).String()
 }

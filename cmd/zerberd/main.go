@@ -7,7 +7,9 @@
 //
 //	zerberd -addr :8021 -secret-file secret.key \
 //	        -user john=0,1 -user alice=1 [-token-ttl 1h] \
-//	        [-data-dir /var/lib/zerberd] [-cache-bytes N | -cache-off]
+//	        [-data-dir /var/lib/zerberd] [-cache-bytes N | -cache-off] \
+//	        [-log-level info] [-log-format text|json] [-pprof] \
+//	        [-rate-limit N] [-rate-burst N] [-max-inflight N]
 //
 // Without -data-dir the index lives in RAM and dies with the process.
 // With it, every accepted insert/remove is write-ahead logged and
@@ -22,6 +24,14 @@
 // every window cached before it. GET /v2/stats reports hit/miss/evict
 // counters.
 //
+// Ops plane: logs are structured (log/slog; -log-format json for
+// machine-readable output), GET /metrics serves the Prometheus-format
+// registry covering server, store, cache and admission families, and
+// -pprof mounts net/http/pprof under /debug/pprof/. Admission control
+// is off by default: -rate-limit arms a per-user token bucket
+// (answering 429 + Retry-After) and -max-inflight sheds excess load
+// with 503 before request bodies are decoded.
+//
 // In a real deployment user registration would come from the
 // enterprise directory; the -user flags model that binding.
 package main
@@ -31,9 +41,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -42,6 +53,7 @@ import (
 	"time"
 
 	"zerberr/internal/cache"
+	"zerberr/internal/obs"
 	"zerberr/internal/server"
 	"zerberr/internal/store"
 )
@@ -68,56 +80,123 @@ func (u userFlags) Set(v string) error {
 	return nil
 }
 
+// newLogger builds the process logger from the -log-level/-log-format
+// flags.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: want debug, info, warn or error", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return nil, fmt.Errorf("bad -log-format %q: want text or json", format)
+}
+
 func main() {
-	log.SetFlags(log.LstdFlags)
-	log.SetPrefix("zerberd: ")
 	var (
-		addr       = flag.String("addr", ":8021", "listen address")
-		secretFile = flag.String("secret-file", "", "file holding the token-signing secret (required)")
-		tokenTTL   = flag.Duration("token-ttl", time.Hour, "authentication token lifetime")
-		dataDir    = flag.String("data-dir", "", "directory for the durable index (WAL + snapshots); empty keeps the index in RAM only")
-		snapEvery  = flag.Int("snapshot-every", store.DefaultSnapshotEvery, "logged operations between automatic snapshots (with -data-dir)")
-		fsyncEach  = flag.Bool("fsync-each", false, "fsync the write-ahead log after every operation (with -data-dir)")
-		cacheBytes = flag.Int64("cache-bytes", 64<<20, "query-result cache capacity in bytes (see GET /v2/stats for hit/miss counters)")
-		cacheOff   = flag.Bool("cache-off", false, "disable the query-result cache")
-		users      = userFlags{}
+		addr        = flag.String("addr", ":8021", "listen address")
+		secretFile  = flag.String("secret-file", "", "file holding the token-signing secret (required)")
+		tokenTTL    = flag.Duration("token-ttl", time.Hour, "authentication token lifetime")
+		dataDir     = flag.String("data-dir", "", "directory for the durable index (WAL + snapshots); empty keeps the index in RAM only")
+		snapEvery   = flag.Int("snapshot-every", store.DefaultSnapshotEvery, "logged operations between automatic snapshots (with -data-dir)")
+		fsyncEach   = flag.Bool("fsync-each", false, "fsync the write-ahead log after every operation (with -data-dir)")
+		cacheBytes  = flag.Int64("cache-bytes", 64<<20, "query-result cache capacity in bytes (see GET /v2/stats for hit/miss counters)")
+		cacheOff    = flag.Bool("cache-off", false, "disable the query-result cache")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		logFormat   = flag.String("log-format", "text", "log format: text or json")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		rateLimit   = flag.Float64("rate-limit", 0, "per-user sustained ops/s admitted; rejections answer 429 with Retry-After (0 disables)")
+		rateBurst   = flag.Float64("rate-burst", 0, "per-user burst allowance above -rate-limit (0 means max(rate, 1))")
+		maxInFlight = flag.Int("max-inflight", 0, "shed requests with 503 past this many in flight (0 disables)")
+		users       = userFlags{}
 	)
 	flag.Var(users, "user", "register NAME=G1,G2 (repeatable)")
 	flag.Parse()
 
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zerberd:", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
+	fail := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
 	if *secretFile == "" {
-		log.Fatal("-secret-file is required (the server cannot sign tokens without a secret)")
+		fail("-secret-file is required (the server cannot sign tokens without a secret)")
 	}
 	secret, err := os.ReadFile(*secretFile)
 	if err != nil {
-		log.Fatalf("reading secret: %v", err)
+		fail("reading secret failed", "err", err)
 	}
 	if len(secret) < 16 {
-		log.Fatalf("secret too short: %d bytes, want at least 16", len(secret))
+		fail("secret too short", "bytes", len(secret), "min", 16)
 	}
+
+	// One registry serves every layer: the durable store registers its
+	// WAL/snapshot families on it, the server its query/admission/cache
+	// families, and GET /metrics renders the union.
+	reg := obs.NewRegistry()
 
 	backend := store.Backend(store.NewMemory())
 	var durable *store.Durable
 	if *dataDir != "" {
-		durable, err = store.OpenDurable(*dataDir, store.Options{SnapshotEvery: *snapEvery, FsyncEach: *fsyncEach, Logf: log.Printf})
+		storeLog := logger.With("component", "store")
+		durable, err = store.OpenDurable(*dataDir, store.Options{
+			SnapshotEvery: *snapEvery,
+			FsyncEach:     *fsyncEach,
+			Logf:          func(format string, args ...any) { storeLog.Info(fmt.Sprintf(format, args...)) },
+			Obs:           reg,
+		})
 		if err != nil {
-			log.Fatalf("opening data dir: %v", err)
+			fail("opening data dir failed", "dir", *dataDir, "err", err)
 		}
 		backend = durable
 		nLists, _ := durable.NumLists()
 		nElems, _ := durable.NumElements()
-		log.Printf("durable index in %s: recovered %d lists, %d elements (seq %d)",
-			*dataDir, nLists, nElems, durable.Seq())
+		logger.Info("durable index recovered",
+			"dir", *dataDir, "lists", nLists, "elements", nElems, "seq", durable.Seq())
 	}
 
 	srv := server.NewWithBackend(secret, *tokenTTL, backend)
+	srv.SetLogger(logger)
+	srv.SetObs(reg) // before Handler, so endpoint families pre-register
 	if !*cacheOff && *cacheBytes > 0 {
 		srv.SetCache(cache.New(*cacheBytes))
-		log.Printf("query-result cache enabled (%d bytes)", *cacheBytes)
+		logger.Info("query-result cache enabled", "bytes", *cacheBytes)
+	}
+	if *rateLimit > 0 || *maxInFlight > 0 {
+		srv.SetAdmission(&server.AdmissionConfig{
+			PerUserRate: *rateLimit,
+			Burst:       *rateBurst,
+			MaxInFlight: *maxInFlight,
+		})
+		logger.Info("admission control armed",
+			"rate_limit", *rateLimit, "burst", *rateBurst, "max_inflight", *maxInFlight)
 	}
 	for name, groups := range users {
 		srv.RegisterUser(name, groups...)
-		log.Printf("registered user %q for groups %v", name, groups)
+		logger.Info("registered user", "user", name, "groups", fmt.Sprint(groups))
+	}
+
+	handler := srv.Handler()
+	if *pprofOn {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		logger.Info("pprof mounted", "path", "/debug/pprof/")
 	}
 
 	// serveCtx is the base context of every request. Shutdown drains
@@ -128,7 +207,7 @@ func main() {
 	defer cancelServe()
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		BaseContext:       func(net.Listener) context.Context { return serveCtx },
 	}
@@ -138,16 +217,17 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("index server listening on %s (protocols v1 + batched v2, %s backend)", *addr, srv.BackendName())
+		logger.Info("index server listening",
+			"addr", *addr, "protocols", "v1 + batched v2", "backend", srv.BackendName())
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
 	select {
 	case err := <-errCh:
-		log.Fatal(err)
+		fail("serve failed", "err", err)
 	case <-ctx.Done():
 		stop() // a second signal kills immediately
-		log.Print("shutting down")
+		logger.Info("shutting down")
 	}
 
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
@@ -155,24 +235,24 @@ func main() {
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		// Drain deadline passed: cancel the in-flight queries' base
 		// context and close their connections instead of waiting.
-		log.Printf("http shutdown: %v (canceling in-flight requests)", err)
+		logger.Warn("http shutdown timed out, canceling in-flight requests", "err", err)
 		cancelServe()
 		if err := httpSrv.Close(); err != nil {
-			log.Printf("http close: %v", err)
+			logger.Warn("http close failed", "err", err)
 		}
 	}
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("serve: %v", err)
+		logger.Warn("serve ended with error", "err", err)
 	}
 	if durable != nil {
 		// Fold the tail of the log into a snapshot so the next start
 		// recovers instantly, then flush and close.
 		if err := durable.Snapshot(); err != nil {
-			log.Printf("final snapshot: %v", err)
+			logger.Warn("final snapshot failed", "err", err)
 		}
 	}
 	if err := srv.Close(); err != nil {
-		log.Printf("closing store: %v", err)
+		logger.Warn("closing store failed", "err", err)
 	}
-	log.Print("bye")
+	logger.Info("bye")
 }

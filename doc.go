@@ -48,6 +48,17 @@
 //     (internal/rstf), builds the r-confidential merge plan
 //     (internal/zerber) and provisions keys.
 //
+// Around those roles sits a production ops plane (internal/obs):
+// structured log/slog logging with per-request IDs, a dependency-free
+// metrics registry served at GET /metrics in Prometheus text format
+// (query latency histograms, WAL/snapshot timings, cache hit rates,
+// per-shard health), server-side admission control (per-user token
+// buckets answering 429, load shedding answering 503, both with
+// Retry-After), and a self-healing client transport that retries
+// transient failures with capped jittered backoff — metric labels
+// never carry term, list or user identity, so observability adds no
+// leakage beyond the paper's threat model. See DESIGN.md "Ops plane".
+//
 // The package root offers the high-level System façade used by the
 // examples, the CLI tools and the experiment harness; the internal
 // packages are the building blocks a downstream system would embed.

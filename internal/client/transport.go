@@ -126,6 +126,12 @@ type HTTP struct {
 	// overall per-exchange timeout. Per-request context deadlines are
 	// honored either way and may fire earlier than the client timeout.
 	Client *http.Client
+	// Retry, when non-nil, makes the transport self-healing: transient
+	// failures — 429/503 admission rejections on every operation, and
+	// other 5xx or transport errors on idempotent ones — are re-sent
+	// with capped exponential backoff and jitter, honoring server
+	// Retry-After hints (see retry.go). Nil disables retrying.
+	Retry *RetryPolicy
 }
 
 func (h HTTP) httpClient() *http.Client {
@@ -138,37 +144,70 @@ func (h HTTP) httpClient() *http.Client {
 // postJSON posts a request body and decodes the response into out,
 // translating error envelopes into errors. The request is bound to
 // ctx (http.NewRequestWithContext), so cancellation aborts it even
-// mid-flight. It returns the size of the response body in bytes (the
-// actual wire cost of the answer).
-func (h HTTP) postJSON(ctx context.Context, path string, in, out interface{}) (int, error) {
+// mid-flight or mid-backoff. It returns the size of the response body
+// in bytes (the actual wire cost of the answer). idempotent widens the
+// retry classification (see retry.go); only operations that are safe
+// to re-send after an ambiguous failure may pass true.
+func (h HTTP) postJSON(ctx context.Context, path string, in, out interface{}, idempotent bool) (int, error) {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return 0, fmt.Errorf("client: encoding request: %w", err)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, h.BaseURL+path, bytes.NewReader(body))
-	if err != nil {
-		return 0, fmt.Errorf("client: %s: %w", path, err)
+	return h.exchange(ctx, http.MethodPost, path, body, out, idempotent)
+}
+
+// exchange runs one logical request through the retry loop. With no
+// policy installed it is exactly one attempt. A context canceled
+// mid-backoff surfaces as the context's error.
+func (h HTTP) exchange(ctx context.Context, method, path string, body []byte, out interface{}, idempotent bool) (int, error) {
+	for retry := 0; ; retry++ {
+		n, status, hint, err := h.doOnce(ctx, method, path, body, out)
+		if err == nil {
+			return n, nil
+		}
+		if ctx.Err() != nil || retry >= h.Retry.maxRetries() || !retryable(status, idempotent) {
+			return n, err
+		}
+		if serr := sleepCtx(ctx, h.Retry.delay(retry, hint)); serr != nil {
+			return n, fmt.Errorf("client: %s: canceled while backing off: %w", path, serr)
+		}
 	}
-	req.Header.Set("Content-Type", "application/json")
+}
+
+// doOnce is one attempt of exchange. status is the HTTP status of the
+// answer, or 0 when the exchange failed below HTTP (transport error);
+// hint is the server's Retry-After, when one came back.
+func (h HTTP) doOnce(ctx context.Context, method, path string, body []byte, out interface{}) (n, status int, hint time.Duration, err error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, h.BaseURL+path, rd)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("client: %s: %w", path, err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
 	resp, err := h.httpClient().Do(req)
 	if err != nil {
-		return 0, fmt.Errorf("client: %s: %w", path, err)
+		return 0, 0, 0, fmt.Errorf("client: %s: %w", path, err)
 	}
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return 0, fmt.Errorf("client: %s: reading response: %w", path, err)
+		return 0, 0, 0, fmt.Errorf("client: %s: reading response: %w", path, err)
 	}
 	if resp.StatusCode != http.StatusOK {
-		return len(raw), h.decodeError(path, resp.StatusCode, raw)
+		return len(raw), resp.StatusCode, retryAfter(resp.Header), h.decodeError(path, resp.StatusCode, raw)
 	}
 	if out == nil {
-		return len(raw), nil
+		return len(raw), http.StatusOK, 0, nil
 	}
 	if err := json.Unmarshal(raw, out); err != nil {
-		return len(raw), fmt.Errorf("client: %s: decoding response: %w", path, err)
+		return len(raw), http.StatusOK, 0, fmt.Errorf("client: %s: decoding response: %w", path, err)
 	}
-	return len(raw), nil
+	return len(raw), http.StatusOK, 0, nil
 }
 
 // decodeError turns a non-200 response into an error. v2 endpoints
@@ -194,7 +233,7 @@ func (h HTTP) decodeError(path string, status int, raw []byte) error {
 // Login implements Transport.
 func (h HTTP) Login(ctx context.Context, user string) ([]crypt.Token, error) {
 	var out server.LoginResponse
-	if _, err := h.postJSON(ctx, "/v1/login", server.LoginRequest{User: user}, &out); err != nil {
+	if _, err := h.postJSON(ctx, "/v1/login", server.LoginRequest{User: user}, &out, true); err != nil {
 		return nil, err
 	}
 	return out.Tokens, nil
@@ -202,7 +241,7 @@ func (h HTTP) Login(ctx context.Context, user string) ([]crypt.Token, error) {
 
 // Insert implements Transport.
 func (h HTTP) Insert(ctx context.Context, tok crypt.Token, list zerber.ListID, el server.StoredElement) error {
-	_, err := h.postJSON(ctx, "/v1/insert", server.InsertRequest{Token: tok, List: list, Element: el}, nil)
+	_, err := h.postJSON(ctx, "/v1/insert", server.InsertRequest{Token: tok, List: list, Element: el}, nil, false)
 	return err
 }
 
@@ -210,7 +249,7 @@ func (h HTTP) Insert(ctx context.Context, tok crypt.Token, list zerber.ListID, e
 // size so serial-path bandwidth accounting matches the batched path.
 func (h HTTP) Query(ctx context.Context, toks []crypt.Token, list zerber.ListID, offset, count int) (server.QueryResponse, int, error) {
 	var out server.QueryResponse
-	n, err := h.postJSON(ctx, "/v1/query", server.QueryRequest{Tokens: toks, List: list, Offset: offset, Count: count}, &out)
+	n, err := h.postJSON(ctx, "/v1/query", server.QueryRequest{Tokens: toks, List: list, Offset: offset, Count: count}, &out, true)
 	if err != nil {
 		return server.QueryResponse{}, 0, err
 	}
@@ -219,7 +258,7 @@ func (h HTTP) Query(ctx context.Context, toks []crypt.Token, list zerber.ListID,
 
 // Remove implements Transport.
 func (h HTTP) Remove(ctx context.Context, tok crypt.Token, list zerber.ListID, sealed []byte) error {
-	_, err := h.postJSON(ctx, "/v1/remove", server.RemoveRequest{Token: tok, List: list, Sealed: sealed}, nil)
+	_, err := h.postJSON(ctx, "/v1/remove", server.RemoveRequest{Token: tok, List: list, Sealed: sealed}, nil, false)
 	return err
 }
 
@@ -227,7 +266,7 @@ func (h HTTP) Remove(ctx context.Context, tok crypt.Token, list zerber.ListID, s
 // the measured response body size.
 func (h HTTP) QueryBatch(ctx context.Context, toks []crypt.Token, queries []server.ListQuery) (BatchQueryResult, error) {
 	var out server.QueryBatchResponse
-	n, err := h.postJSON(ctx, "/v2/query", server.QueryBatchRequest{Tokens: toks, Queries: queries}, &out)
+	n, err := h.postJSON(ctx, "/v2/query", server.QueryBatchRequest{Tokens: toks, Queries: queries}, &out, true)
 	if err != nil {
 		return BatchQueryResult{}, err
 	}
@@ -239,39 +278,25 @@ func (h HTTP) QueryBatch(ctx context.Context, toks []crypt.Token, queries []serv
 
 // InsertBatch implements Transport over POST /v2/insert.
 func (h HTTP) InsertBatch(ctx context.Context, tok crypt.Token, ops []server.InsertOp) error {
-	_, err := h.postJSON(ctx, "/v2/insert", server.InsertBatchRequest{Token: tok, Ops: ops}, nil)
+	_, err := h.postJSON(ctx, "/v2/insert", server.InsertBatchRequest{Token: tok, Ops: ops}, nil, false)
 	return err
 }
 
 // RemoveBatch implements Transport over POST /v2/remove.
 func (h HTTP) RemoveBatch(ctx context.Context, tok crypt.Token, ops []server.RemoveOp) error {
-	_, err := h.postJSON(ctx, "/v2/remove", server.RemoveBatchRequest{Token: tok, Ops: ops}, nil)
+	_, err := h.postJSON(ctx, "/v2/remove", server.RemoveBatchRequest{Token: tok, Ops: ops}, nil, false)
 	return err
 }
 
-// Stats fetches GET /v2/stats: totals, per-list element counts and
-// the storage backend name. It is not part of Transport — it is an
-// administrative call, not a protocol operation.
+// Stats fetches GET /v2/stats: totals, per-list element counts, the
+// storage backend name, and — on an instrumented server — the ops
+// section. It is not part of Transport — it is an administrative call,
+// not a protocol operation. It rides the same retry loop as the
+// protocol operations (a GET is idempotent).
 func (h HTTP) Stats(ctx context.Context) (server.StatsV2Response, error) {
 	var out server.StatsV2Response
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.BaseURL+"/v2/stats", nil)
-	if err != nil {
-		return out, fmt.Errorf("client: /v2/stats: %w", err)
-	}
-	resp, err := h.httpClient().Do(req)
-	if err != nil {
-		return out, fmt.Errorf("client: /v2/stats: %w", err)
-	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return out, fmt.Errorf("client: /v2/stats: reading response: %w", err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		return out, h.decodeError("/v2/stats", resp.StatusCode, raw)
-	}
-	if err := json.Unmarshal(raw, &out); err != nil {
-		return out, fmt.Errorf("client: /v2/stats: decoding response: %w", err)
+	if _, err := h.exchange(ctx, http.MethodGet, "/v2/stats", nil, &out, true); err != nil {
+		return server.StatsV2Response{}, err
 	}
 	return out, nil
 }

@@ -50,6 +50,9 @@ type Router struct {
 	// keyed version-agnostically (Key.Version = 0); the retained
 	// window's own Version is what conditional revalidation sends.
 	results atomic.Pointer[cache.Cache]
+	// health tracks per-shard liveness (health.go); index-parallel to
+	// shards.
+	health []shardHealth
 }
 
 // NewRouter builds a router over the given shard transports (local
@@ -58,7 +61,10 @@ func NewRouter(shards ...client.Transport) (*Router, error) {
 	if len(shards) == 0 {
 		return nil, errors.New("cluster: need at least one shard")
 	}
-	return &Router{shards: append([]client.Transport(nil), shards...)}, nil
+	return &Router{
+		shards: append([]client.Transport(nil), shards...),
+		health: make([]shardHealth, len(shards)),
+	}, nil
 }
 
 // NumShards returns the shard count.
@@ -105,23 +111,38 @@ func (r *Router) ShardFor(list zerber.ListID) int {
 // registry, so any shard's tokens are valid cluster-wide; the first
 // shard answers.
 func (r *Router) Login(ctx context.Context, user string) ([]crypt.Token, error) {
-	return r.shards[0].Login(ctx, user)
+	done := r.observeShard(0)
+	toks, err := r.shards[0].Login(ctx, user)
+	done(err)
+	return toks, err
 }
 
 // Insert implements client.Transport.
 func (r *Router) Insert(ctx context.Context, tok crypt.Token, list zerber.ListID, el server.StoredElement) error {
-	return r.shards[r.ShardFor(list)].Insert(ctx, tok, list, el)
+	shard := r.ShardFor(list)
+	done := r.observeShard(shard)
+	err := r.shards[shard].Insert(ctx, tok, list, el)
+	done(err)
+	return err
 }
 
 // Query implements client.Transport, passing through the owning
 // shard's measured wire bytes.
 func (r *Router) Query(ctx context.Context, toks []crypt.Token, list zerber.ListID, offset, count int) (server.QueryResponse, int, error) {
-	return r.shards[r.ShardFor(list)].Query(ctx, toks, list, offset, count)
+	shard := r.ShardFor(list)
+	done := r.observeShard(shard)
+	resp, wire, err := r.shards[shard].Query(ctx, toks, list, offset, count)
+	done(err)
+	return resp, wire, err
 }
 
 // Remove implements client.Transport.
 func (r *Router) Remove(ctx context.Context, tok crypt.Token, list zerber.ListID, sealed []byte) error {
-	return r.shards[r.ShardFor(list)].Remove(ctx, tok, list, sealed)
+	shard := r.ShardFor(list)
+	done := r.observeShard(shard)
+	err := r.shards[shard].Remove(ctx, tok, list, sealed)
+	done(err)
+	return err
 }
 
 // shardFanOut groups batch operation indices by owning shard and runs
@@ -156,7 +177,10 @@ func (r *Router) shardFanOut(ctx context.Context, n int, listOf func(i int) zerb
 		wg.Add(1)
 		go func(s int, idxs []int) {
 			defer wg.Done()
-			if err := fn(fanCtx, s, idxs); err != nil {
+			done := r.observeShard(s)
+			err := fn(fanCtx, s, idxs)
+			done(err)
+			if err != nil {
 				var be *server.BatchError
 				// The shard-local index is remote input (an HTTP shard
 				// controls it); remap only if it addresses this

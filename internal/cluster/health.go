@@ -1,0 +1,154 @@
+package cluster
+
+// Per-shard health tracking: every operation the router sends to a
+// shard is observed — in-flight count, totals, consecutive faults and
+// the last fault message — so an operator (or `zerber status`) can see
+// which shard of a cluster is degrading while the self-healing client
+// transport rides out the blip. The labels carry only the shard index;
+// which lists live on a shard (and therefore which terms) is never
+// exposed.
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zerberr/internal/obs"
+	"zerberr/internal/server"
+)
+
+// Metric names the router registers on the obs registry.
+const (
+	MetricShardInFlight    = "zerber_shard_inflight_requests"
+	MetricShardOpsTotal    = "zerber_shard_ops_total"
+	MetricShardErrorsTotal = "zerber_shard_errors_total"
+	MetricShardConsecFails = "zerber_shard_consecutive_failures"
+)
+
+// shardHealth is one shard's live counters. All hot-path fields are
+// atomic; only the last-fault record takes the mutex, and only on
+// faults.
+type shardHealth struct {
+	inFlight    atomic.Int64
+	ops         atomic.Uint64
+	errs        atomic.Uint64
+	consecFails atomic.Int64
+
+	mu        sync.Mutex
+	lastErr   string
+	lastErrAt time.Time
+}
+
+// ShardHealth is one shard's health snapshot (Router.Health).
+type ShardHealth struct {
+	Shard int `json:"shard"`
+	// InFlight is the number of operations currently outstanding
+	// against the shard.
+	InFlight int64 `json:"in_flight"`
+	// Ops counts operations sent (batches count once).
+	Ops uint64 `json:"ops"`
+	// Errors counts shard faults: transport failures, internal errors
+	// and overload rejections. Clean application rejections (auth,
+	// forbidden, not-found, ...) prove the shard is alive and are not
+	// faults.
+	Errors uint64 `json:"errors"`
+	// ConsecutiveFailures is the current run of faults; any answered
+	// operation resets it. A growing run is the "this shard is down"
+	// signal.
+	ConsecutiveFailures int64 `json:"consecutive_failures"`
+	// LastError is the most recent fault message, with when it
+	// happened.
+	LastError   string    `json:"last_error,omitempty"`
+	LastErrorAt time.Time `json:"last_error_at,omitzero"`
+}
+
+// observeShard begins one shard operation; call the returned func with
+// the operation's outcome.
+func (r *Router) observeShard(shard int) func(error) {
+	h := &r.health[shard]
+	h.inFlight.Add(1)
+	return func(err error) {
+		h.inFlight.Add(-1)
+		h.ops.Add(1)
+		switch {
+		case shardFault(err):
+			h.errs.Add(1)
+			h.consecFails.Add(1)
+			h.mu.Lock()
+			h.lastErr = err.Error()
+			h.lastErrAt = time.Now()
+			h.mu.Unlock()
+		case err == nil || !isContextErr(err):
+			// The shard answered (success or a clean application
+			// rejection): it is alive.
+			h.consecFails.Store(0)
+		}
+		// Context errors are neutral: the caller (or a sibling shard's
+		// failure) abandoned the operation, which says nothing about
+		// this shard's health.
+	}
+}
+
+// shardFault reports whether an operation outcome indicts the shard:
+// transport failures and internal errors do, and so do overload
+// rejections; application rejections and abandoned (context-canceled)
+// operations do not.
+func shardFault(err error) bool {
+	if err == nil || isContextErr(err) {
+		return false
+	}
+	switch server.ErrorCode(err) {
+	case server.CodeInternal, server.CodeOverloaded:
+		return true
+	}
+	return false
+}
+
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Health snapshots every shard's counters, in shard order.
+func (r *Router) Health() []ShardHealth {
+	out := make([]ShardHealth, len(r.health))
+	for i := range r.health {
+		h := &r.health[i]
+		h.mu.Lock()
+		lastErr, lastAt := h.lastErr, h.lastErrAt
+		h.mu.Unlock()
+		out[i] = ShardHealth{
+			Shard:               i,
+			InFlight:            h.inFlight.Load(),
+			Ops:                 h.ops.Load(),
+			Errors:              h.errs.Load(),
+			ConsecutiveFailures: h.consecFails.Load(),
+			LastError:           lastErr,
+			LastErrorAt:         lastAt,
+		}
+	}
+	return out
+}
+
+// SetObs registers the router's per-shard health families on a metrics
+// registry, sampled at scrape time from the live counters. Labels
+// carry only the shard index.
+func (r *Router) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	for i := range r.health {
+		h := &r.health[i]
+		label := obs.Label{Name: "shard", Value: strconv.Itoa(i)}
+		reg.GaugeFunc(MetricShardInFlight, "operations currently outstanding against the shard",
+			func() float64 { return float64(h.inFlight.Load()) }, label)
+		reg.CounterFunc(MetricShardOpsTotal, "operations sent to the shard",
+			func() float64 { return float64(h.ops.Load()) }, label)
+		reg.CounterFunc(MetricShardErrorsTotal, "shard faults (transport, internal, overload)",
+			func() float64 { return float64(h.errs.Load()) }, label)
+		reg.GaugeFunc(MetricShardConsecFails, "current run of consecutive shard faults",
+			func() float64 { return float64(h.consecFails.Load()) }, label)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"zerberr/internal/client"
 	"zerberr/internal/corpus"
 	"zerberr/internal/crypt"
+	"zerberr/internal/obs"
 	"zerberr/internal/server"
 	"zerberr/internal/store"
 	"zerberr/internal/zerber"
@@ -43,6 +44,7 @@ func Suite() []Bench {
 		{"QueryFollowup/scan", QueryFollowupScan},
 		{"QueryCached/hit", QueryCachedHit},
 		{"QueryCached/uncached", QueryCachedUncached},
+		{"QueryInstrumented/hit", QueryInstrumentedHit},
 		{"StoreAppend", StoreAppend},
 		{"StoreMemoryInsert", MemoryInsert},
 		{"SearchSerialVsBatched/inproc/serial", SearchSerial},
@@ -168,9 +170,10 @@ func QueryFollowupScan(b *testing.B) {
 // --- cached-server fixture ------------------------------------------
 
 type serverFixture struct {
-	cached   *server.Server
-	uncached *server.Server
-	toks     []crypt.Token
+	cached       *server.Server
+	uncached     *server.Server
+	instrumented *server.Server
+	toks         []crypt.Token
 }
 
 var (
@@ -189,12 +192,23 @@ func servers() *serverFixture {
 		cached := server.NewWithBackend(secret, time.Hour, f.mem)
 		cached.SetCache(cache.New(64 << 20))
 		uncached := server.NewWithBackend(secret, time.Hour, f.mem)
+		// The instrumented server is the cached one with the full ops
+		// plane armed: a live metrics registry (per-round histogram
+		// observations on every query) and admission control with a
+		// rate far above the workload, so every op pays the token-bucket
+		// check without ever being refused. Its delta over QueryCached/hit
+		// is the ops plane's whole hot-path cost.
+		instrumented := server.NewWithBackend(secret, time.Hour, f.mem)
+		instrumented.SetCache(cache.New(64 << 20))
+		instrumented.SetObs(obs.NewRegistry())
+		instrumented.SetAdmission(&server.AdmissionConfig{PerUserRate: 1e12, MaxInFlight: 1 << 20})
 		cached.RegisterUser("bench", 0, 2, 4, 6)
+		instrumented.RegisterUser("bench", 0, 2, 4, 6)
 		toks, err := cached.Login(context.Background(), "bench")
 		if err != nil {
 			panic(err)
 		}
-		srvFix = &serverFixture{cached: cached, uncached: uncached, toks: toks}
+		srvFix = &serverFixture{cached: cached, uncached: uncached, instrumented: instrumented, toks: toks}
 	})
 	return srvFix
 }
@@ -236,6 +250,15 @@ func QueryCachedHit(b *testing.B) {
 func QueryCachedUncached(b *testing.B) {
 	f := servers()
 	queryCached(b, f.uncached, f.toks)
+}
+
+// QueryInstrumentedHit is QueryCachedHit with metrics and admission
+// armed: every query passes the per-user token bucket and lands a
+// histogram observation. CI compares it against QueryCached/hit to
+// bound the ops plane's hot-path overhead.
+func QueryInstrumentedHit(b *testing.B) {
+	f := servers()
+	queryCached(b, f.instrumented, f.toks)
 }
 
 // --- storage-engine appends -----------------------------------------

@@ -103,10 +103,14 @@ func (s *Server) QueryBatch(ctx context.Context, toks []crypt.Token, queries []L
 			return nil, &BatchError{Index: i, Err: fmt.Errorf("%w: offset %d count %d", ErrBadRequest, q.Offset, q.Count)}
 		}
 	}
-	allowed, err := s.allowedGroups(toks)
+	allowed, now, err := s.allowedGroups(toks)
 	if err != nil {
 		return nil, err
 	}
+	if err := s.admit(userOf(toks), now); err != nil {
+		return nil, err
+	}
+	defer s.met.Load().endRound(len(queries), now)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -174,8 +178,11 @@ func (s *Server) InsertBatch(ctx context.Context, tok crypt.Token, ops []InsertO
 	if err := checkBatchSize(len(ops)); err != nil {
 		return err
 	}
-	allowed, err := s.allowedGroups([]crypt.Token{tok})
+	allowed, now, err := s.allowedGroups([]crypt.Token{tok})
 	if err != nil {
+		return err
+	}
+	if err := s.admit(tok.User, now); err != nil {
 		return err
 	}
 	for i, op := range ops {
@@ -186,6 +193,12 @@ func (s *Server) InsertBatch(ctx context.Context, tok crypt.Token, ops []InsertO
 			return &BatchError{Index: i, Err: fmt.Errorf("%w: token group %d, element group %d", ErrForbidden, tok.Group, op.Element.Group)}
 		}
 	}
+	var applied uint64
+	defer func() {
+		if m := s.met.Load(); m != nil {
+			m.inserts.Add(applied)
+		}
+	}()
 	for i, op := range ops {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -193,6 +206,7 @@ func (s *Server) InsertBatch(ctx context.Context, tok crypt.Token, ops []InsertO
 		if err := s.backend.Insert(op.List, op.Element); err != nil {
 			return &BatchError{Index: i, Err: err}
 		}
+		applied++
 	}
 	return nil
 }
@@ -208,8 +222,11 @@ func (s *Server) RemoveBatch(ctx context.Context, tok crypt.Token, ops []RemoveO
 	if err := checkBatchSize(len(ops)); err != nil {
 		return err
 	}
-	allowed, err := s.allowedGroups([]crypt.Token{tok})
+	allowed, now, err := s.allowedGroups([]crypt.Token{tok})
 	if err != nil {
+		return err
+	}
+	if err := s.admit(tok.User, now); err != nil {
 		return err
 	}
 	for i, op := range ops {
@@ -264,6 +281,12 @@ func (s *Server) RemoveBatch(ctx context.Context, tok crypt.Token, ops []RemoveO
 			instances[sealed]--
 		}
 	}
+	var applied uint64
+	defer func() {
+		if m := s.met.Load(); m != nil {
+			m.removes.Add(applied)
+		}
+	}()
 	for i, op := range ops {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -271,6 +294,7 @@ func (s *Server) RemoveBatch(ctx context.Context, tok crypt.Token, ops []RemoveO
 		if err := s.removeAllowed(allowed, op.List, op.Sealed); err != nil {
 			return &BatchError{Index: i, Err: err}
 		}
+		applied++
 	}
 	return nil
 }
@@ -320,5 +344,6 @@ func (s *Server) StatsV2(ctx context.Context) (StatsV2Response, error) {
 			Capacity:  cs.Capacity,
 		}
 	}
+	resp.Ops = s.opsStats()
 	return resp, nil
 }

@@ -4,9 +4,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"math"
 	"net/http"
+	"strconv"
+	"strings"
+	"time"
 
 	"zerberr/internal/crypt"
+	"zerberr/internal/obs"
 	"zerberr/internal/zerber"
 )
 
@@ -117,6 +123,10 @@ type StatsV2Response struct {
 	// Cache carries the query-result cache counters; absent when no
 	// cache is installed.
 	Cache *CacheStatsV2 `json:"cache,omitempty"`
+	// Ops carries the operational signals (uptime, query latency
+	// quantiles, admission counters); absent when no metrics registry
+	// is installed. `zerber status` renders it.
+	Ops *OpsStats `json:"ops,omitempty"`
 }
 
 // errorBody is the v1 JSON error envelope.
@@ -144,6 +154,8 @@ const (
 	CodeUnknownList  = "unknown_list"
 	CodeNotFound     = "not_found"
 	CodeBadRequest   = "bad_request"
+	CodeRateLimited  = "rate_limited"
+	CodeOverloaded   = "overloaded"
 	CodeInternal     = "internal"
 )
 
@@ -164,6 +176,10 @@ func ErrorCode(err error) string {
 		return CodeNotFound
 	case errors.Is(err, ErrBadRequest):
 		return CodeBadRequest
+	case errors.Is(err, ErrRateLimited):
+		return CodeRateLimited
+	case errors.Is(err, ErrOverloaded):
+		return CodeOverloaded
 	}
 	return CodeInternal
 }
@@ -186,14 +202,28 @@ func SentinelForCode(code string) error {
 		return ErrNotFound
 	case CodeBadRequest:
 		return ErrBadRequest
+	case CodeRateLimited:
+		return ErrRateLimited
+	case CodeOverloaded:
+		return ErrOverloaded
 	}
 	return nil
 }
 
-// Handler returns the HTTP API for the server.
+// Handler returns the HTTP API for the server. Every endpoint runs
+// under the ops middleware (instrument): a request ID is generated and
+// echoed as X-Request-Id, a request-scoped structured logger rides the
+// context, the in-flight bound sheds excess load before bodies are
+// decoded, and — with a registry installed via SetObs (call it before
+// Handler) — per-endpoint latency histograms and status-code counters
+// are recorded. GET /metrics then serves the registry in Prometheus
+// text exposition format.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/login", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(method, path string, h http.HandlerFunc) {
+		mux.Handle(method+" "+path, s.instrument(path, h))
+	}
+	handle("POST", "/v1/login", func(w http.ResponseWriter, r *http.Request) {
 		var req LoginRequest
 		if !decode(w, r, &req) {
 			return
@@ -205,7 +235,7 @@ func (s *Server) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, LoginResponse{Tokens: toks})
 	})
-	mux.HandleFunc("POST /v1/insert", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST", "/v1/insert", func(w http.ResponseWriter, r *http.Request) {
 		var req InsertRequest
 		if !decode(w, r, &req) {
 			return
@@ -216,7 +246,7 @@ func (s *Server) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, struct{}{})
 	})
-	mux.HandleFunc("POST /v1/remove", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST", "/v1/remove", func(w http.ResponseWriter, r *http.Request) {
 		var req RemoveRequest
 		if !decode(w, r, &req) {
 			return
@@ -227,7 +257,7 @@ func (s *Server) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, struct{}{})
 	})
-	mux.HandleFunc("POST /v1/query", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST", "/v1/query", func(w http.ResponseWriter, r *http.Request) {
 		var req QueryRequest
 		if !decode(w, r, &req) {
 			return
@@ -239,7 +269,7 @@ func (s *Server) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})
-	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET", "/v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		st, err := s.StatsV2(r.Context())
 		if err != nil {
 			writeErr(w, err)
@@ -247,7 +277,7 @@ func (s *Server) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, StatsResponse{Lists: st.Lists, Elements: st.Elements})
 	})
-	mux.HandleFunc("POST /v2/query", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST", "/v2/query", func(w http.ResponseWriter, r *http.Request) {
 		var req QueryBatchRequest
 		if !decodeV2(w, r, &req) {
 			return
@@ -259,7 +289,7 @@ func (s *Server) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, QueryBatchResponse{Responses: resps})
 	})
-	mux.HandleFunc("POST /v2/insert", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST", "/v2/insert", func(w http.ResponseWriter, r *http.Request) {
 		var req InsertBatchRequest
 		if !decodeV2(w, r, &req) {
 			return
@@ -270,7 +300,7 @@ func (s *Server) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, struct{}{})
 	})
-	mux.HandleFunc("POST /v2/remove", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST", "/v2/remove", func(w http.ResponseWriter, r *http.Request) {
 		var req RemoveBatchRequest
 		if !decodeV2(w, r, &req) {
 			return
@@ -281,7 +311,7 @@ func (s *Server) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, struct{}{})
 	})
-	mux.HandleFunc("GET /v2/stats", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET", "/v2/stats", func(w http.ResponseWriter, r *http.Request) {
 		st, err := s.StatsV2(r.Context())
 		if err != nil {
 			writeErrV2(w, err)
@@ -289,8 +319,91 @@ func (s *Server) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, st)
 	})
+	if reg := s.Obs(); reg != nil {
+		// Deliberately outside the middleware: scrapes must not be
+		// shed, must not skew the latency families, and need no
+		// request-scoped logging.
+		mux.Handle("GET /metrics", reg.Handler())
+	}
 	return mux
 }
+
+// statusRecorder captures the response status for the middleware's
+// metrics and access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument is the per-endpoint ops middleware; see Handler. endpoint
+// is the route path — the only identity the metrics and logs carry
+// (never a list ID, term or user name).
+func (s *Server) instrument(endpoint string, next http.HandlerFunc) http.Handler {
+	endpointLabel := obs.Label{Name: "endpoint", Value: endpoint}
+	// Pre-create the endpoint's families so a scrape sees them (at
+	// zero) from boot, not from first traffic — the CI smoke test
+	// greps a freshly started server.
+	if m := s.met.Load(); m != nil {
+		m.reg.Histogram(MetricHTTPRequestSeconds, httpLatencyHelp, nil, endpointLabel)
+		m.reg.Counter(MetricHTTPRequestsTotal, httpRequestsHelp, endpointLabel, obs.Label{Name: "code", Value: "200"})
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		// Drain whatever the handler (or a shed rejection) left unread
+		// so the connection can be reused; rate-limited requests in
+		// particular are refused before their bodies are decoded.
+		defer func() { _, _ = io.Copy(io.Discard, io.LimitReader(r.Body, 1<<20)) }()
+		n := s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		m := s.met.Load()
+		if m != nil {
+			m.inFlight.Inc()
+			defer m.inFlight.Dec()
+		}
+		id := obs.NewRequestID()
+		w.Header().Set("X-Request-Id", id)
+		logger := s.baseLogger().With("request_id", id, "endpoint", endpoint)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		if max := s.admissionMaxInFlight(); max > 0 && n > int64(max) {
+			if m != nil {
+				m.shed.Inc()
+			}
+			err := withRetryHint(fmt.Errorf("%w: %d requests already in flight", ErrOverloaded, max), time.Second)
+			if strings.HasPrefix(endpoint, "/v2") {
+				writeErrV2(rec, err)
+			} else {
+				writeErr(rec, err)
+			}
+		} else {
+			ctx := obs.WithLogger(obs.WithRequestID(r.Context(), id), logger)
+			next(rec, r.WithContext(ctx))
+		}
+		elapsed := time.Since(start)
+		if m != nil {
+			m.reg.Histogram(MetricHTTPRequestSeconds, httpLatencyHelp, nil, endpointLabel).Observe(elapsed.Seconds())
+			m.reg.Counter(MetricHTTPRequestsTotal, httpRequestsHelp, endpointLabel,
+				obs.Label{Name: "code", Value: strconv.Itoa(rec.status)}).Inc()
+		}
+		switch {
+		case rec.status >= 500:
+			logger.Warn("request failed", "status", rec.status, "duration", elapsed)
+		case rec.status >= 400:
+			logger.Info("request rejected", "status", rec.status, "duration", elapsed)
+		default:
+			logger.Debug("request served", "status", rec.status, "duration", elapsed)
+		}
+	})
+}
+
+const (
+	httpLatencyHelp  = "HTTP request latency by endpoint"
+	httpRequestsHelp = "HTTP requests by endpoint and status code"
+)
 
 func decode(w http.ResponseWriter, r *http.Request, dst interface{}) bool {
 	dec := json.NewDecoder(r.Body)
@@ -324,12 +437,36 @@ func statusFor(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, ErrBadRequest):
 		return http.StatusBadRequest
+	case errors.Is(err, ErrRateLimited):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusServiceUnavailable
 	}
 	return http.StatusInternalServerError
 }
 
+// setRetryAfter adds the Retry-After header on admission rejections.
+// The value is the server's own hint rounded up to whole seconds (the
+// header's granularity), minimum 1. Every 429/503 path — single-op,
+// batch, shed — funnels through writeErr/writeErrV2, so every such
+// response carries the header.
+func setRetryAfter(w http.ResponseWriter, err error, status int) {
+	if status != http.StatusTooManyRequests && status != http.StatusServiceUnavailable {
+		return
+	}
+	secs := int64(1)
+	if hint, ok := RetryAfterHint(err); ok {
+		if s := int64(math.Ceil(hint.Seconds())); s > secs {
+			secs = s
+		}
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+}
+
 func writeErr(w http.ResponseWriter, err error) {
-	writeJSON(w, statusFor(err), errorBody{Error: err.Error()})
+	status := statusFor(err)
+	setRetryAfter(w, err, status)
+	writeJSON(w, status, errorBody{Error: err.Error()})
 }
 
 func writeErrV2(w http.ResponseWriter, err error) {
@@ -339,7 +476,9 @@ func writeErrV2(w http.ResponseWriter, err error) {
 		idx := be.Index
 		env.Index = &idx
 	}
-	writeJSON(w, statusFor(err), env)
+	status := statusFor(err)
+	setRetryAfter(w, err, status)
+	writeJSON(w, status, env)
 }
 
 func writeJSON(w http.ResponseWriter, status int, body interface{}) {

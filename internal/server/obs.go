@@ -1,0 +1,186 @@
+package server
+
+// Ops-plane wiring for the index server: metric families, the
+// /metrics endpoint and the extended stats section. See DESIGN.md
+// "Ops plane" for the metric inventory and the no-extra-leakage
+// argument (everything aggregates over lists and terms; the label
+// vocabulary is endpoints, status classes and result kinds only).
+
+import (
+	"log/slog"
+	"sync/atomic"
+	"time"
+
+	"zerberr/internal/obs"
+	"zerberr/internal/store"
+)
+
+// Metric names the server registers on the obs registry. Exported so
+// the scrape smoke tests and the stats endpoint share one vocabulary.
+const (
+	MetricQueryRoundSeconds  = "zerber_query_round_seconds"
+	MetricQueriesTotal       = "zerber_queries_total"
+	MetricMutationsTotal     = "zerber_mutations_total"
+	MetricHTTPRequestSeconds = "zerber_http_request_seconds"
+	MetricHTTPRequestsTotal  = "zerber_http_requests_total"
+	MetricHTTPInFlight       = "zerber_http_inflight_requests"
+	MetricRateLimitedTotal   = "zerber_requests_rate_limited_total"
+	MetricShedTotal          = "zerber_requests_shed_total"
+	MetricCacheHitsTotal     = "zerber_cache_hits_total"
+	MetricCacheMissesTotal   = "zerber_cache_misses_total"
+	MetricCacheEvictsTotal   = "zerber_cache_evictions_total"
+	MetricCacheBytes         = "zerber_cache_bytes"
+	MetricUptimeSeconds      = "zerber_uptime_seconds"
+)
+
+// serverMetrics holds the handles the request path observes into.
+// All obs methods are nil-safe, so a nil *serverMetrics pointer (no
+// registry installed) only costs the atomic load.
+type serverMetrics struct {
+	reg         *obs.Registry
+	start       time.Time
+	queryRound  *obs.Histogram // one protocol round (Query or QueryBatch)
+	queries     *obs.Counter   // sub-queries served
+	inserts     *obs.Counter
+	removes     *obs.Counter
+	rateLimited *obs.Counter
+	shed        *obs.Counter
+	inFlight    *obs.Gauge
+}
+
+// SetObs installs a metrics registry: the server registers its query
+// and admission families plus scrape-time samplers over the result
+// cache, and Handler will serve the whole registry at GET /metrics.
+// Call before Handler so the HTTP middleware can pre-create its
+// per-endpoint families. Nil removes instrumentation.
+func (s *Server) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		s.met.Store(nil)
+		return
+	}
+	m := &serverMetrics{
+		reg:         reg,
+		start:       time.Now(),
+		queryRound:  reg.Histogram(MetricQueryRoundSeconds, "server-side latency of one protocol round (a Query or QueryBatch call)", nil),
+		queries:     reg.Counter(MetricQueriesTotal, "ranked-range sub-queries served"),
+		inserts:     reg.Counter(MetricMutationsTotal, "accepted mutations by op", obs.Label{Name: "op", Value: "insert"}),
+		removes:     reg.Counter(MetricMutationsTotal, "accepted mutations by op", obs.Label{Name: "op", Value: "remove"}),
+		rateLimited: reg.Counter(MetricRateLimitedTotal, "requests refused by the per-user rate limit"),
+		shed:        reg.Counter(MetricShedTotal, "requests shed by the in-flight bound"),
+		inFlight:    reg.Gauge(MetricHTTPInFlight, "HTTP requests currently being served"),
+	}
+	reg.GaugeFunc(MetricUptimeSeconds, "seconds since the metrics registry was installed", func() float64 {
+		return time.Since(m.start).Seconds()
+	})
+	// The cache maintains its own counters; sample them at scrape
+	// time. The funcs read through the atomic cache pointer, so an
+	// installed-later or swapped cache is picked up transparently.
+	cacheCounter := func(pick func(CacheStatsV2) float64) func() float64 {
+		return func() float64 {
+			cs, ok := s.CacheStats()
+			if !ok {
+				return 0
+			}
+			return pick(CacheStatsV2{
+				Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions,
+				Entries: cs.Entries, Bytes: cs.Bytes, Capacity: cs.Capacity,
+			})
+		}
+	}
+	reg.CounterFunc(MetricCacheHitsTotal, "query-result cache hits", cacheCounter(func(c CacheStatsV2) float64 { return float64(c.Hits) }))
+	reg.CounterFunc(MetricCacheMissesTotal, "query-result cache misses", cacheCounter(func(c CacheStatsV2) float64 { return float64(c.Misses) }))
+	reg.CounterFunc(MetricCacheEvictsTotal, "query-result cache evictions", cacheCounter(func(c CacheStatsV2) float64 { return float64(c.Evictions) }))
+	reg.GaugeFunc(MetricCacheBytes, "query-result cache resident bytes", cacheCounter(func(c CacheStatsV2) float64 { return float64(c.Bytes) }))
+	s.met.Store(m)
+}
+
+// Obs returns the installed metrics registry, or nil.
+func (s *Server) Obs() *obs.Registry {
+	if m := s.met.Load(); m != nil {
+		return m.reg
+	}
+	return nil
+}
+
+// SetLogger installs the structured logger request-scoped loggers
+// derive from (nil restores slog.Default).
+func (s *Server) SetLogger(l *slog.Logger) {
+	if l == nil {
+		s.logger.Store(nil)
+		return
+	}
+	s.logger.Store(l)
+}
+
+// baseLogger is the logger the HTTP middleware derives per-request
+// loggers from.
+func (s *Server) baseLogger() *slog.Logger {
+	if l := s.logger.Load(); l != nil {
+		return l
+	}
+	return slog.Default()
+}
+
+// endRound records one protocol round: its server-side latency since
+// `start` (the clock reading token validation took at the top of the
+// round) plus the number of sub-queries it carried. Nil-safe and
+// allocation-free, so `defer s.met.Load().endRound(...)` costs an
+// atomic load and one deferred call on un-instrumented servers — the
+// shape that keeps BenchmarkInstrumentedQuery inside its budget.
+func (m *serverMetrics) endRound(subQueries int, start time.Time) {
+	if m == nil {
+		return
+	}
+	m.queries.Add(uint64(subQueries))
+	m.queryRound.Observe(time.Since(start).Seconds())
+}
+
+// OpsStats is the operational section of /v2/stats: the signals
+// `zerber status` renders without scraping /metrics. Latencies are
+// estimated from the fixed-bucket histograms (same math PromQL's
+// histogram_quantile uses); zero values mean "no observations yet"
+// or "not instrumented".
+type OpsStats struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	InFlight      int64   `json:"in_flight"`
+	QueryRounds   uint64  `json:"query_rounds"`
+	QueryP50      float64 `json:"query_p50_seconds"`
+	QueryP95      float64 `json:"query_p95_seconds"`
+	QueryP99      float64 `json:"query_p99_seconds"`
+	WALFsyncP99   float64 `json:"wal_fsync_p99_seconds,omitempty"`
+	WALAppendP99  float64 `json:"wal_append_p99_seconds,omitempty"`
+	RateLimited   uint64  `json:"rate_limited"`
+	Shed          uint64  `json:"shed"`
+}
+
+// opsStats assembles the OpsStats section, or nil when no registry is
+// installed.
+func (s *Server) opsStats() *OpsStats {
+	m := s.met.Load()
+	if m == nil {
+		return nil
+	}
+	o := &OpsStats{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		InFlight:      m.inFlight.Value(),
+		QueryRounds:   m.queryRound.Count(),
+		QueryP50:      m.queryRound.Quantile(0.50),
+		QueryP95:      m.queryRound.Quantile(0.95),
+		QueryP99:      m.queryRound.Quantile(0.99),
+		RateLimited:   m.rateLimited.Value(),
+		Shed:          m.shed.Value(),
+	}
+	// The durable store registers its WAL families on the same
+	// registry; absent (RAM-only backend) they read as zero.
+	o.WALFsyncP99 = m.reg.FindHistogram(store.MetricWALFsyncSeconds).Quantile(0.99)
+	o.WALAppendP99 = m.reg.FindHistogram(store.MetricWALAppendSeconds).Quantile(0.99)
+	return o
+}
+
+// metrics-aware atomic holders live on Server (server.go); the
+// aliases below keep the field types out of the main struct clutter.
+type (
+	metPtr    = atomic.Pointer[serverMetrics]
+	admPtr    = atomic.Pointer[admission]
+	loggerPtr = atomic.Pointer[slog.Logger]
+)

@@ -88,6 +88,18 @@ type Server struct {
 	// results is the optional query-result cache (nil = off). Atomic so
 	// the read path never takes s.mu for it.
 	results atomic.Pointer[cache.Cache]
+	// met/adm/logger are the ops plane: metrics handles (SetObs),
+	// admission control (SetAdmission) and the structured logger
+	// (SetLogger). All atomic for lock-free hot-path loads; all nil
+	// by default, costing un-instrumented servers one load each.
+	met    metPtr
+	adm    admPtr
+	logger loggerPtr
+	// inflight counts HTTP requests currently being served; the shed
+	// bound compares against it, and the metrics gauge mirrors it. Kept
+	// on the server (not serverMetrics) so shedding works with no
+	// registry installed.
+	inflight atomic.Int64
 }
 
 // New creates a server with the given token-signing secret and an
@@ -172,17 +184,25 @@ func (s *Server) Login(ctx context.Context, user string) ([]crypt.Token, error) 
 		return nil, err
 	}
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	groups, ok := s.members[user]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownUser, user)
-	}
 	sorted := make([]int, 0, len(groups))
 	for g := range groups {
 		sorted = append(sorted, g)
 	}
+	now := s.now
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownUser, user)
+	}
+	t := now()
+	// Rate-limit only known users: keying buckets by arbitrary
+	// unauthenticated names would let a flood of garbage logins grow
+	// the bucket table. (Outside s.mu.)
+	if err := s.admit(user, t); err != nil {
+		return nil, err
+	}
 	sort.Ints(sorted)
-	expiry := s.now().Add(s.tokenTTL)
+	expiry := t.Add(s.tokenTTL)
 	toks := make([]crypt.Token, len(sorted))
 	for i, g := range sorted {
 		toks[i] = crypt.IssueToken(s.secret, user, g, expiry)
@@ -191,9 +211,11 @@ func (s *Server) Login(ctx context.Context, user string) ([]crypt.Token, error) 
 }
 
 // allowedGroups validates the presented tokens and returns the set of
-// groups they grant. Invalid or expired tokens are an authentication
-// error, not silently dropped.
-func (s *Server) allowedGroups(toks []crypt.Token) (map[int]bool, error) {
+// groups they grant, plus the clock reading it validated against (so
+// callers can admit and time the round without re-reading the clock).
+// Invalid or expired tokens are an authentication error, not silently
+// dropped.
+func (s *Server) allowedGroups(toks []crypt.Token) (map[int]bool, time.Time, error) {
 	now := s.clock()()
 	allowed := make(map[int]bool, len(toks))
 	for _, tok := range toks {
@@ -201,14 +223,14 @@ func (s *Server) allowedGroups(toks []crypt.Token) (map[int]bool, error) {
 		// then the lifetime, so expiry is only reported for authentic
 		// tokens and a forged expiry cannot probe the distinction.
 		if !crypt.VerifyToken(s.secret, tok, tok.Expiry) {
-			return nil, fmt.Errorf("%w: invalid token for user %q group %d", ErrAuth, tok.User, tok.Group)
+			return nil, now, fmt.Errorf("%w: invalid token for user %q group %d", ErrAuth, tok.User, tok.Group)
 		}
 		if now.After(tok.Expiry) {
-			return nil, fmt.Errorf("%w: user %q group %d", ErrTokenExpired, tok.User, tok.Group)
+			return nil, now, fmt.Errorf("%w: user %q group %d", ErrTokenExpired, tok.User, tok.Group)
 		}
 		allowed[tok.Group] = true
 	}
-	return allowed, nil
+	return allowed, now, nil
 }
 
 // Insert stores a sealed posting element into the given merged list.
@@ -222,14 +244,23 @@ func (s *Server) Insert(ctx context.Context, tok crypt.Token, list zerber.ListID
 	if el.Sealed == nil {
 		return fmt.Errorf("%w: empty payload", ErrBadRequest)
 	}
-	allowed, err := s.allowedGroups([]crypt.Token{tok})
+	allowed, now, err := s.allowedGroups([]crypt.Token{tok})
 	if err != nil {
+		return err
+	}
+	if err := s.admit(tok.User, now); err != nil {
 		return err
 	}
 	if !allowed[el.Group] {
 		return fmt.Errorf("%w: token group %d, element group %d", ErrForbidden, tok.Group, el.Group)
 	}
-	return s.backend.Insert(list, el)
+	if err := s.backend.Insert(list, el); err != nil {
+		return err
+	}
+	if m := s.met.Load(); m != nil {
+		m.inserts.Inc()
+	}
+	return nil
 }
 
 // Query returns up to count elements of the list starting at offset
@@ -243,11 +274,26 @@ func (s *Server) Query(ctx context.Context, toks []crypt.Token, list zerber.List
 	if offset < 0 || count <= 0 {
 		return QueryResponse{}, fmt.Errorf("%w: offset %d count %d", ErrBadRequest, offset, count)
 	}
-	allowed, err := s.allowedGroups(toks)
+	allowed, now, err := s.allowedGroups(toks)
 	if err != nil {
 		return QueryResponse{}, err
 	}
+	if err := s.admit(userOf(toks), now); err != nil {
+		return QueryResponse{}, err
+	}
+	defer s.met.Load().endRound(1, now)
 	return s.queryAllowed(allowed, list, offset, count, nil)
+}
+
+// userOf keys the rate limiter: the presenting user of a validated
+// token set (one user presents all their group tokens together). The
+// key is never used as a metric label — buckets aggregate per user,
+// metrics aggregate over everyone.
+func userOf(toks []crypt.Token) string {
+	if len(toks) == 0 {
+		return ""
+	}
+	return toks[0].User
 }
 
 // queryAllowed is Query past token validation: batch sub-queries
@@ -318,11 +364,20 @@ func (s *Server) Remove(ctx context.Context, tok crypt.Token, list zerber.ListID
 	if len(sealed) == 0 {
 		return fmt.Errorf("%w: empty payload", ErrBadRequest)
 	}
-	allowed, err := s.allowedGroups([]crypt.Token{tok})
+	allowed, now, err := s.allowedGroups([]crypt.Token{tok})
 	if err != nil {
 		return err
 	}
-	return s.removeAllowed(allowed, list, sealed)
+	if err := s.admit(tok.User, now); err != nil {
+		return err
+	}
+	if err := s.removeAllowed(allowed, list, sealed); err != nil {
+		return err
+	}
+	if m := s.met.Load(); m != nil {
+		m.removes.Inc()
+	}
+	return nil
 }
 
 // removeAllowed is Remove past token validation; batch operations

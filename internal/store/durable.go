@@ -9,7 +9,9 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"zerberr/internal/obs"
 	"zerberr/internal/zerber"
 )
 
@@ -37,6 +39,52 @@ type Options struct {
 	// Logf, when set, receives operational warnings the store cannot
 	// return to any caller (automatic-snapshot failures, WAL poisoning).
 	Logf func(format string, args ...any)
+	// Obs, when set, receives the store's durability metrics: WAL
+	// append and fsync latency histograms, snapshot timings and
+	// outcomes, and the WAL-poisoned gauge (see the Metric* constants).
+	// Nil disables instrumentation entirely — the hot path then pays
+	// only nil checks, no clock reads.
+	Obs *obs.Registry
+}
+
+// Metric names the store registers on Options.Obs. Exported so the
+// stats endpoint (and tests) can locate the families without string
+// drift.
+const (
+	MetricWALAppendSeconds = "zerber_wal_append_seconds"
+	MetricWALFsyncSeconds  = "zerber_wal_fsync_seconds"
+	MetricSnapshotSeconds  = "zerber_snapshot_seconds"
+	MetricSnapshotsTotal   = "zerber_snapshots_total"
+	MetricWALRecordsTotal  = "zerber_wal_records_total"
+	MetricWALPoisoned      = "zerber_wal_poisoned"
+)
+
+// durableMetrics holds the handles Durable observes into. All fields
+// are nil when Options.Obs is nil (every obs method is nil-safe, and
+// timed sections additionally gate their clock reads).
+type durableMetrics struct {
+	walAppend  *obs.Histogram
+	walFsync   *obs.Histogram
+	snapshot   *obs.Histogram
+	snapOK     *obs.Counter
+	snapErr    *obs.Counter
+	walRecords *obs.Counter
+	poisoned   *obs.Gauge
+}
+
+func newDurableMetrics(r *obs.Registry) durableMetrics {
+	if r == nil {
+		return durableMetrics{}
+	}
+	return durableMetrics{
+		walAppend:  r.Histogram(MetricWALAppendSeconds, "WAL record append latency (frame+checksum+write, no fsync)", nil),
+		walFsync:   r.Histogram(MetricWALFsyncSeconds, "WAL fsync latency", nil),
+		snapshot:   r.Histogram(MetricSnapshotSeconds, "full snapshot write+compact latency", nil),
+		snapOK:     r.Counter(MetricSnapshotsTotal, "snapshots attempted by result", obs.Label{Name: "result", Value: "ok"}),
+		snapErr:    r.Counter(MetricSnapshotsTotal, "snapshots attempted by result", obs.Label{Name: "result", Value: "error"}),
+		walRecords: r.Counter(MetricWALRecordsTotal, "operations appended to the WAL"),
+		poisoned:   r.Gauge(MetricWALPoisoned, "1 while the WAL refuses mutations after a write failure"),
+	}
 }
 
 // DefaultSnapshotEvery is the automatic compaction threshold.
@@ -49,6 +97,7 @@ type Durable struct {
 	mem *Memory
 	dir string
 	opt Options
+	met durableMetrics
 
 	mu           sync.Mutex // serializes mutations, log appends, snapshots
 	wal          *wal
@@ -118,7 +167,7 @@ func OpenDurable(dir string, opt Options) (*Durable, error) {
 	if err != nil {
 		return fail(fmt.Errorf("store: opening WAL: %w", err))
 	}
-	return &Durable{mem: mem, dir: dir, opt: opt, wal: w, lock: lock, seq: maxSeq}, nil
+	return &Durable{mem: mem, dir: dir, opt: opt, met: newDurableMetrics(opt.Obs), wal: w, lock: lock, seq: maxSeq}, nil
 }
 
 // loadOrCreateEpoch reads the directory's persisted version epoch, or
@@ -177,18 +226,32 @@ func (d *Durable) logLocked(rec walRecord) error {
 		return fmt.Errorf("store: WAL poisoned by earlier failure (snapshot to recover): %w", d.walErr)
 	}
 	rec.seq = d.seq + 1
+	var start time.Time
+	if d.met.walAppend != nil {
+		start = time.Now()
+	}
 	if err := d.wal.append(rec); err != nil {
 		d.poisonLocked(err)
 		return fmt.Errorf("store: appending WAL record: %w", err)
 	}
+	if d.met.walAppend != nil {
+		d.met.walAppend.Observe(time.Since(start).Seconds())
+	}
+	d.met.walRecords.Inc()
 	// The record is framed in the OS; the sequence is consumed whether
 	// or not the sync below succeeds.
 	d.seq = rec.seq
 	d.opsSinceSnap++
 	if d.opt.FsyncEach {
+		if d.met.walFsync != nil {
+			start = time.Now()
+		}
 		if err := d.wal.sync(); err != nil {
 			d.poisonLocked(err)
 			return fmt.Errorf("store: syncing WAL: %w", err)
+		}
+		if d.met.walFsync != nil {
+			d.met.walFsync.Observe(time.Since(start).Seconds())
 		}
 	}
 	return nil
@@ -196,6 +259,7 @@ func (d *Durable) logLocked(rec walRecord) error {
 
 func (d *Durable) poisonLocked(err error) {
 	d.walErr = err
+	d.met.poisoned.Set(1)
 	if d.opt.Logf != nil {
 		d.opt.Logf("store: WAL write failed, refusing further mutations until a snapshot succeeds: %v", err)
 	}
@@ -291,7 +355,18 @@ func (d *Durable) Snapshot() error {
 	return d.snapshotLocked()
 }
 
-func (d *Durable) snapshotLocked() error {
+func (d *Durable) snapshotLocked() (err error) {
+	if d.met.snapshot != nil {
+		start := time.Now()
+		defer func() {
+			d.met.snapshot.Observe(time.Since(start).Seconds())
+			if err == nil {
+				d.met.snapOK.Inc()
+			} else {
+				d.met.snapErr.Inc()
+			}
+		}()
+	}
 	// With a healthy log, put it on disk before the snapshot claims
 	// its sequence. With a poisoned log the snapshot itself is the
 	// recovery path — it is fsynced and holds everything up to seq —
@@ -313,6 +388,7 @@ func (d *Durable) snapshotLocked() error {
 	// The snapshot captured the live state and the log restarted
 	// empty, so any earlier ambiguous write is moot.
 	d.walErr = nil
+	d.met.poisoned.Set(0)
 	d.opsSinceSnap = 0
 	return nil
 }
