@@ -255,6 +255,16 @@ func BenchmarkSearchSerialVsBatched(b *testing.B) {
 	b.Run("http/batched", func(b *testing.B) { microbench.RunSearch(b, remote, queries, false) })
 }
 
+// BenchmarkHedgedQuery prices the replica layer (internal/replica):
+// the healthy leg is the hedging machinery's steady-state overhead
+// over a plain cached query, the failover leg the cost of reading
+// around a dead primary. Mounted from internal/microbench so the
+// CI-gated numbers and `zerber-bench -json` snapshots agree.
+func BenchmarkHedgedQuery(b *testing.B) {
+	b.Run("healthy", microbench.HedgedQueryHealthy)
+	b.Run("failover", microbench.HedgedQueryFailover)
+}
+
 func BenchmarkRankTopK(b *testing.B) {
 	g := stats.NewRNG(13)
 	scores := make(map[corpus.DocID]float64, 10000)

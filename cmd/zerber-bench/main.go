@@ -7,7 +7,7 @@
 //	zerber-bench -list
 //	zerber-bench -run fig11 [-scale 1] [-seed 1] [-csv results/]
 //	zerber-bench -run all -scale 0.5
-//	zerber-bench -json > BENCH_5.json
+//	zerber-bench -json [-replicas 3] > BENCH_7.json
 //
 // Scale 1 is the laptop default; the paper-sized collections are
 // roughly -scale 4 (Stud IP) and -scale 30 (ODP).
@@ -54,6 +54,7 @@ func main() {
 		quiet    = flag.Bool("q", false, "suppress progress logging")
 		batched  = flag.Bool("batched", false, "drive search-timing loops over the batched v2 protocol (the bandwidth experiment always reports serial-vs-batched round-trips)")
 		jsonMode = flag.Bool("json", false, "run the key micro-benchmarks and print one JSON line per benchmark (the BENCH_*.json snapshot format)")
+		replicas = flag.Int("replicas", 2, "members per replica set (primary + N-1 replicas) in the HedgedQuery micro-benchmarks")
 	)
 	flag.Parse()
 
@@ -64,6 +65,7 @@ func main() {
 		return
 	}
 	if *jsonMode {
+		microbench.SetReplicaMembers(*replicas)
 		runMicrobenchJSON(*quiet)
 		return
 	}

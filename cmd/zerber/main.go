@@ -5,18 +5,25 @@
 //
 // Usage:
 //
-//	zerber init   -docs ./corpus -out ./artifacts -r 32 [-pass phrase]
-//	zerber index  -docs ./corpus -artifacts ./artifacts -server http://host:8021 -user john -pass phrase
-//	zerber query  -artifacts ./artifacts -server http://host:8021 -user john -pass phrase -k 10 term
-//	zerber status -server http://host:8021
+//	zerber init    -docs ./corpus -out ./artifacts -r 32 [-pass phrase]
+//	zerber index   -docs ./corpus -artifacts ./artifacts -server http://host:8021 -user john -pass phrase
+//	zerber query   -artifacts ./artifacts -server http://host:8021 -user john -pass phrase -k 10 term
+//	zerber status  -server http://shard0a+http://shard0b,http://shard1
+//	zerber migrate -src http://old:8021 -dst http://new:8021 -secret-file secret.key
 //
 // index uploads each document's posting elements as one batched
 // /v2/insert; query drives all terms' follow-up loops over batched
 // /v2/query round-trips (-serial falls back to the one-request-per-
 // list v1 protocol, -stream prints the provisional top-k after every
-// round); status prints the server's /v2/stats view. Every command
-// runs under a signal-bound context: ^C cancels in-flight requests
-// instead of abandoning them server-side.
+// round); status prints the server's /v2/stats view — shards are
+// comma-separated and replica members of one shard are joined with
+// "+" (primary first), mirroring how a replica.Set is wired. migrate
+// moves a whole index between zerberd processes over the MAC-gated
+// admin plane (snapshot, WAL tail, digest) and differentially
+// verifies the copy before reporting success; quiesce the source (or
+// use cluster.Router.Migrate in process) for a fully atomic move.
+// Every command runs under a signal-bound context: ^C cancels
+// in-flight requests instead of abandoning them server-side.
 //
 // Documents are .txt files; the immediate subdirectory of -docs names
 // the collaboration group (docs/<group>/<file>.txt; files directly in
@@ -40,10 +47,12 @@ import (
 	"time"
 
 	"zerberr/internal/client"
+	"zerberr/internal/cluster"
 	"zerberr/internal/corpus"
 	"zerberr/internal/crypt"
 	"zerberr/internal/rank"
 	"zerberr/internal/rstf"
+	"zerberr/internal/server"
 	"zerberr/internal/zerber"
 )
 
@@ -72,13 +81,15 @@ func main() {
 		cmdQuery(ctx, os.Args[2:])
 	case "status":
 		cmdStatus(ctx, os.Args[2:])
+	case "migrate":
+		cmdMigrate(ctx, os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: zerber {init|index|query|status} [flags]   (run a subcommand with -h for details)")
+	fmt.Fprintln(os.Stderr, "usage: zerber {init|index|query|status|migrate} [flags]   (run a subcommand with -h for details)")
 	os.Exit(2)
 }
 
@@ -352,44 +363,53 @@ func cmdQuery(ctx context.Context, args []string) {
 
 func cmdStatus(ctx context.Context, args []string) {
 	fs := flag.NewFlagSet("status", flag.ExitOnError)
-	serverURL := fs.String("server", "http://localhost:8021", "index server URL; comma-separate several to view a cluster's shards")
+	serverURL := fs.String("server", "http://localhost:8021", "index server URL; comma-separate shards, join one shard's replica members with '+' (primary first)")
 	lists := fs.Bool("lists", false, "also print per-list element counts (single server only)")
 	_ = fs.Parse(args)
 
-	urls := strings.Split(*serverURL, ",")
+	shards := strings.Split(*serverURL, ",")
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "SHARD\tBACKEND\tLISTS\tELEMENTS\tQ-P50\tQ-P95\tQ-P99\tCACHE-HIT\tWAL-FSYNC-P99\tLIMITED\tSHED\tHEALTH")
+	fmt.Fprintln(w, "SHARD\tROLE\tBACKEND\tLISTS\tELEMENTS\tQ-P50\tQ-P95\tQ-P99\tCACHE-HIT\tWAL-FSYNC-P99\tLIMITED\tSHED\tHEALTH")
 	var single *client.HTTP
-	for i, u := range urls {
-		u = strings.TrimSpace(u)
-		h := client.HTTP{BaseURL: u, Retry: client.DefaultRetryPolicy()}
-		st, err := h.Stats(ctx)
-		if err != nil {
-			fmt.Fprintf(w, "%d\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\tunreachable: %v\n", i, err)
-			continue
-		}
-		if len(urls) == 1 {
-			single = &h
-		}
-		p50, p95, p99, fsync, limited, shed := "-", "-", "-", "-", "-", "-"
-		if o := st.Ops; o != nil {
-			p50, p95, p99 = fmtLatency(o.QueryP50), fmtLatency(o.QueryP95), fmtLatency(o.QueryP99)
-			fsync = fmtLatency(o.WALFsyncP99)
-			limited = fmt.Sprint(o.RateLimited)
-			shed = fmt.Sprint(o.Shed)
-		}
-		hitRate := "-"
-		if c := st.Cache; c != nil {
-			if total := c.Hits + c.Misses; total > 0 {
-				hitRate = fmt.Sprintf("%.1f%%", 100*float64(c.Hits)/float64(total))
-			} else {
-				hitRate = "0.0%"
+	nMembers := 0
+	for i, shard := range shards {
+		for m, u := range strings.Split(shard, "+") {
+			nMembers++
+			role := "primary"
+			if m > 0 {
+				role = fmt.Sprintf("replica-%d", m)
 			}
+			u = strings.TrimSpace(u)
+			h := client.HTTP{BaseURL: u, Retry: client.DefaultRetryPolicy()}
+			st, err := h.Stats(ctx)
+			if err != nil {
+				fmt.Fprintf(w, "%d\t%s\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\tunreachable: %v\n", i, role, err)
+				continue
+			}
+			single = &h
+			p50, p95, p99, fsync, limited, shed := "-", "-", "-", "-", "-", "-"
+			if o := st.Ops; o != nil {
+				p50, p95, p99 = fmtLatency(o.QueryP50), fmtLatency(o.QueryP95), fmtLatency(o.QueryP99)
+				fsync = fmtLatency(o.WALFsyncP99)
+				limited = fmt.Sprint(o.RateLimited)
+				shed = fmt.Sprint(o.Shed)
+			}
+			hitRate := "-"
+			if c := st.Cache; c != nil {
+				if total := c.Hits + c.Misses; total > 0 {
+					hitRate = fmt.Sprintf("%.1f%%", 100*float64(c.Hits)/float64(total))
+				} else {
+					hitRate = "0.0%"
+				}
+			}
+			fmt.Fprintf(w, "%d\t%s\t%s\t%d\t%d\t%s\t%s\t%s\t%s\t%s\t%s\t%s\tok\n",
+				i, role, st.Backend, st.Lists, st.Elements, p50, p95, p99, hitRate, fsync, limited, shed)
 		}
-		fmt.Fprintf(w, "%d\t%s\t%d\t%d\t%s\t%s\t%s\t%s\t%s\t%s\t%s\tok\n",
-			i, st.Backend, st.Lists, st.Elements, p50, p95, p99, hitRate, fsync, limited, shed)
 	}
 	w.Flush()
+	if nMembers != 1 {
+		single = nil
+	}
 	if single != nil && *lists {
 		st, err := single.Stats(ctx)
 		if err != nil {
@@ -408,4 +428,74 @@ func fmtLatency(secs float64) string {
 		return "-"
 	}
 	return time.Duration(secs * float64(time.Second)).Round(10 * time.Microsecond).String()
+}
+
+// cmdMigrate moves one zerberd's whole index to another over the
+// MAC-gated admin plane: atomic snapshot export/import, a WAL-tail
+// catch-up when the source is durable, then a differential digest
+// verification. Unlike cluster.Router.Migrate there is no write
+// barrier from out here — writes landing on the source after the tail
+// is fetched make the verification fail, and the command says so;
+// rerun it once the source is quiesced.
+func cmdMigrate(ctx context.Context, args []string) {
+	fs := flag.NewFlagSet("migrate", flag.ExitOnError)
+	src := fs.String("src", "", "source server URL (required)")
+	dst := fs.String("dst", "", "destination server URL (required; its index is replaced)")
+	secretFile := fs.String("secret-file", "", "file holding the servers' shared secret — derives the admin MAC (required)")
+	verifyOnly := fs.Bool("verify-only", false, "only compare the two servers' digests, move nothing")
+	_ = fs.Parse(args)
+	if *src == "" || *dst == "" || *secretFile == "" {
+		fatal("migrate: -src, -dst and -secret-file are required")
+	}
+	secret, err := os.ReadFile(*secretFile)
+	if err != nil {
+		fatal("reading secret failed", "err", err)
+	}
+	mac := server.AdminMAC(secret)
+	sa := client.HTTP{BaseURL: strings.TrimSpace(*src), Retry: client.DefaultRetryPolicy(), AdminMAC: mac}
+	da := client.HTTP{BaseURL: strings.TrimSpace(*dst), Retry: client.DefaultRetryPolicy(), AdminMAC: mac}
+
+	start := time.Now()
+	tailOps := 0
+	if !*verifyOnly {
+		exp, err := sa.ExportSnapshot(ctx)
+		if err != nil {
+			fatal("exporting source snapshot failed", "err", err)
+		}
+		logger.Info("snapshot exported", "bytes", len(exp.Data), "seq", exp.Seq, "tailable", exp.Tailable)
+		if err := da.ImportSnapshot(ctx, exp.Data); err != nil {
+			fatal("importing snapshot failed", "err", err)
+		}
+		if exp.Tailable {
+			ops, err := sa.TailSince(ctx, exp.Seq)
+			if err != nil {
+				logger.Warn("tail fetch failed, relying on digest verification", "err", err)
+			} else if len(ops) > 0 {
+				if err := da.ApplyOps(ctx, ops); err != nil {
+					fatal("replaying WAL tail failed", "err", err)
+				}
+				tailOps = len(ops)
+			}
+		}
+	}
+	srcDig, err := sa.Digest(ctx)
+	if err != nil {
+		fatal("fetching source digest failed", "err", err)
+	}
+	dstDig, err := da.Digest(ctx)
+	if err != nil {
+		fatal("fetching destination digest failed", "err", err)
+	}
+	if err := cluster.DiffDigests(srcDig, dstDig); err != nil {
+		fatal("differential verification failed (source still writing? quiesce and rerun)", "err", err)
+	}
+	elements := 0
+	for _, d := range dstDig {
+		elements += d.Elements
+	}
+	logger.Info("migration verified",
+		"lists", len(dstDig), "elements", elements, "tail_ops", tailOps,
+		"elapsed", time.Since(start).Round(time.Millisecond), "verify_only", *verifyOnly)
+	fmt.Printf("migrated %d lists (%d elements, %d tail ops) from %s to %s — digests identical\n",
+		len(dstDig), elements, tailOps, *src, *dst)
 }

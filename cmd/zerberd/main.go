@@ -9,7 +9,7 @@
 //	        -user john=0,1 -user alice=1 [-token-ttl 1h] \
 //	        [-data-dir /var/lib/zerberd] [-cache-bytes N | -cache-off] \
 //	        [-log-level info] [-log-format text|json] [-pprof] \
-//	        [-rate-limit N] [-rate-burst N] [-max-inflight N]
+//	        [-rate-limit N] [-rate-burst N] [-max-inflight N] [-admin=false]
 //
 // Without -data-dir the index lives in RAM and dies with the process.
 // With it, every accepted insert/remove is write-ahead logged and
@@ -31,6 +31,12 @@
 // is off by default: -rate-limit arms a per-user token bucket
 // (answering 429 + Retry-After) and -max-inflight sheds excess load
 // with 503 before request bodies are decoded.
+//
+// The admin plane (/v3/admin: snapshot export/import, WAL tail,
+// content digest — what `zerber migrate` and replica resync drive) is
+// served by default; every request must present the X-Zerber-Admin
+// MAC derived from the shared secret. -admin=false removes the
+// endpoints entirely (they answer 404).
 //
 // In a real deployment user registration would come from the
 // enterprise directory; the -user flags model that binding.
@@ -113,6 +119,7 @@ func main() {
 		rateLimit   = flag.Float64("rate-limit", 0, "per-user sustained ops/s admitted; rejections answer 429 with Retry-After (0 disables)")
 		rateBurst   = flag.Float64("rate-burst", 0, "per-user burst allowance above -rate-limit (0 means max(rate, 1))")
 		maxInFlight = flag.Int("max-inflight", 0, "shed requests with 503 past this many in flight (0 disables)")
+		adminOn     = flag.Bool("admin", true, "serve the MAC-gated /v3/admin snapshot-transfer plane (zerber migrate, replica resync); -admin=false answers 404")
 		users       = userFlags{}
 	)
 	flag.Var(users, "user", "register NAME=G1,G2 (repeatable)")
@@ -168,6 +175,10 @@ func main() {
 	srv := server.NewWithBackend(secret, *tokenTTL, backend)
 	srv.SetLogger(logger)
 	srv.SetObs(reg) // before Handler, so endpoint families pre-register
+	srv.SetAdminEnabled(*adminOn)
+	if !*adminOn {
+		logger.Info("admin plane disabled")
+	}
 	if !*cacheOff && *cacheBytes > 0 {
 		srv.SetCache(cache.New(*cacheBytes))
 		logger.Info("query-result cache enabled", "bytes", *cacheBytes)

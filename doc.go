@@ -48,6 +48,22 @@
 //     (internal/rstf), builds the r-confidential merge plan
 //     (internal/zerber) and provisions keys.
 //
+// Deployments scale out through a dynamic cluster layer
+// (internal/cluster): a Router shards merged lists across servers by
+// static hash and implements the same client.Transport, so clients are
+// unchanged. Each routing slot can be backed by a replica set
+// (internal/replica) — writes apply primary-first then fan to
+// replicas, reads hedge to a replica after a latency-derived delay
+// (seeded from the shard's observed p95) and fail over immediately on
+// faults, so a dead primary no longer fails queries. Shards with long
+// fault runs are demoted and routed around. Live shard migration
+// (Router.Migrate, `zerber migrate`) ships the atomic snapshot while
+// writes keep flowing, replays the WAL tail under a brief per-slot
+// write barrier, differentially verifies rank-ordered content digests
+// and flips an epoch-bumped routing table — all over a MAC-gated admin
+// plane (/v3/admin) that is distinct from the user-facing transport.
+// See DESIGN.md "Replication & migration".
+//
 // Around those roles sits a production ops plane (internal/obs):
 // structured log/slog logging with per-request IDs, a dependency-free
 // metrics registry served at GET /metrics in Prometheus text format

@@ -1,0 +1,170 @@
+package client
+
+// Admin-plane client: the snapshot-transfer surface live migration
+// (internal/cluster) and replica resync (internal/replica) drive. Both
+// transports implement ShardAdmin — Local by calling the server's
+// admin methods, HTTP via the MAC-gated /v3/admin endpoints (the
+// AdminMAC field must hold server.AdminMAC(secret)).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"zerberr/internal/server"
+)
+
+// ShardAdmin is the whole-shard state-transfer surface beneath live
+// migration and replica resync. It is intentionally not part of
+// Transport: protocol operations act on behalf of a user and carry
+// tokens; admin operations act on behalf of the fleet operator and
+// carry the cluster MAC.
+type ShardAdmin interface {
+	// ExportSnapshot dumps the shard's full state (atomic, rank-ordered).
+	ExportSnapshot(ctx context.Context) (server.SnapshotExport, error)
+	// ImportSnapshot replaces the shard's full state with a dump.
+	ImportSnapshot(ctx context.Context, data []byte) error
+	// TailSince returns the mutations logged after seq.
+	TailSince(ctx context.Context, seq uint64) ([]server.TailOp, error)
+	// ApplyOps replays a decoded tail through the normal mutation path.
+	ApplyOps(ctx context.Context, ops []server.TailOp) error
+	// Digest summarizes every list for differential verification.
+	Digest(ctx context.Context) ([]server.ListDigest, error)
+}
+
+// ExportSnapshot implements ShardAdmin.
+func (l Local) ExportSnapshot(ctx context.Context) (server.SnapshotExport, error) {
+	return l.S.ExportSnapshot(ctx)
+}
+
+// ImportSnapshot implements ShardAdmin.
+func (l Local) ImportSnapshot(ctx context.Context, data []byte) error {
+	return l.S.ImportSnapshot(ctx, data)
+}
+
+// TailSince implements ShardAdmin.
+func (l Local) TailSince(ctx context.Context, seq uint64) ([]server.TailOp, error) {
+	return l.S.TailSince(ctx, seq)
+}
+
+// ApplyOps implements ShardAdmin.
+func (l Local) ApplyOps(ctx context.Context, ops []server.TailOp) error {
+	return l.S.ApplyOps(ctx, ops)
+}
+
+// Digest implements ShardAdmin.
+func (l Local) Digest(ctx context.Context) ([]server.ListDigest, error) {
+	return l.S.Digest(ctx)
+}
+
+// adminDo is one admin exchange: a single attempt (migration and
+// resync own their error handling; blind retries of whole-state
+// transfers are never what the operator wants) carrying the admin MAC
+// and an arbitrary body.
+func (h HTTP) adminDo(ctx context.Context, method, path string, body []byte, contentType string) (*http.Response, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, h.BaseURL+path, rd)
+	if err != nil {
+		return nil, nil, fmt.Errorf("client: %s: %w", path, err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	req.Header.Set("X-Zerber-Admin", h.AdminMAC)
+	resp, err := h.httpClient().Do(req)
+	if err != nil {
+		return nil, nil, fmt.Errorf("client: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, fmt.Errorf("client: %s: reading response: %w", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, h.decodeError(path, resp.StatusCode, raw)
+	}
+	return resp, raw, nil
+}
+
+// adminJSON runs a JSON-in/JSON-out admin exchange.
+func (h HTTP) adminJSON(ctx context.Context, method, path string, in, out interface{}) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
+	}
+	ct := ""
+	if body != nil {
+		ct = "application/json"
+	}
+	_, raw, err := h.adminDo(ctx, method, path, body, ct)
+	if err != nil {
+		return err
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("client: %s: decoding response: %w", path, err)
+	}
+	return nil
+}
+
+// ExportSnapshot implements ShardAdmin over GET /v3/admin/snapshot.
+func (h HTTP) ExportSnapshot(ctx context.Context) (server.SnapshotExport, error) {
+	resp, raw, err := h.adminDo(ctx, http.MethodGet, "/v3/admin/snapshot", nil, "")
+	if err != nil {
+		return server.SnapshotExport{}, err
+	}
+	seq, err := strconv.ParseUint(resp.Header.Get("X-Zerber-Seq"), 10, 64)
+	if err != nil {
+		return server.SnapshotExport{}, fmt.Errorf("client: /v3/admin/snapshot: bad X-Zerber-Seq %q", resp.Header.Get("X-Zerber-Seq"))
+	}
+	return server.SnapshotExport{
+		Data:     raw,
+		Seq:      seq,
+		Tailable: resp.Header.Get("X-Zerber-Tailable") == "1",
+	}, nil
+}
+
+// ImportSnapshot implements ShardAdmin over PUT /v3/admin/snapshot.
+func (h HTTP) ImportSnapshot(ctx context.Context, data []byte) error {
+	_, _, err := h.adminDo(ctx, http.MethodPut, "/v3/admin/snapshot", data, "application/octet-stream")
+	return err
+}
+
+// TailSince implements ShardAdmin over GET /v3/admin/tail.
+func (h HTTP) TailSince(ctx context.Context, seq uint64) ([]server.TailOp, error) {
+	var out server.TailResponse
+	path := "/v3/admin/tail?after=" + strconv.FormatUint(seq, 10)
+	if err := h.adminJSON(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Ops, nil
+}
+
+// ApplyOps implements ShardAdmin over POST /v3/admin/ops.
+func (h HTTP) ApplyOps(ctx context.Context, ops []server.TailOp) error {
+	return h.adminJSON(ctx, http.MethodPost, "/v3/admin/ops", server.ApplyOpsRequest{Ops: ops}, nil)
+}
+
+// Digest implements ShardAdmin over GET /v3/admin/digest.
+func (h HTTP) Digest(ctx context.Context) ([]server.ListDigest, error) {
+	var out server.DigestResponse
+	if err := h.adminJSON(ctx, http.MethodGet, "/v3/admin/digest", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Lists, nil
+}
+
+var _ ShardAdmin = Local{}
+var _ ShardAdmin = HTTP{}

@@ -1,0 +1,32 @@
+package client
+
+import "reflect"
+
+// TransportIdentity reduces a transport to a comparable identity for
+// duplicate detection: two transports with equal identities reach the
+// same server, so wiring both into one router (or one replica set)
+// would silently halve capacity and fake redundancy. HTTP transports
+// are identified by base URL (retry policy and client tuning don't
+// change who answers), in-process ones by the server instance; other
+// comparable implementations compare as themselves, and non-comparable
+// ones get a fresh identity each call (never flagged — better to miss
+// an exotic duplicate than to panic comparing it).
+func TransportIdentity(t Transport) any {
+	switch v := t.(type) {
+	case HTTP:
+		return "http:" + v.BaseURL
+	case *HTTP:
+		return "http:" + v.BaseURL
+	case Local:
+		return v.S
+	case *Local:
+		return v.S
+	}
+	if t == nil {
+		return nil
+	}
+	if reflect.TypeOf(t).Comparable() {
+		return t
+	}
+	return new(int)
+}

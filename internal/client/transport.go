@@ -132,6 +132,11 @@ type HTTP struct {
 	// with capped exponential backoff and jitter, honoring server
 	// Retry-After hints (see retry.go). Nil disables retrying.
 	Retry *RetryPolicy
+	// AdminMAC authorizes the /v3/admin snapshot-transfer calls
+	// (ShardAdmin); derive it with server.AdminMAC(secret). Empty means
+	// admin calls fail with an authentication error — protocol
+	// operations never need it.
+	AdminMAC string
 }
 
 func (h HTTP) httpClient() *http.Client {

@@ -28,6 +28,8 @@ import (
 	"zerberr/internal/cache"
 	"zerberr/internal/client"
 	"zerberr/internal/crypt"
+	"zerberr/internal/obs"
+	"zerberr/internal/replica"
 	"zerberr/internal/server"
 	"zerberr/internal/store"
 	"zerberr/internal/zerber"
@@ -45,30 +47,91 @@ import (
 // retained windows — same elements, a fraction of the wire bytes and
 // none of the shard-side merge work.
 type Router struct {
-	shards []client.Transport
+	// tab is the live routing table. The slot count is fixed for the
+	// router's lifetime (list→slot assignment never moves); which
+	// transport serves a slot can change under Migrate, which swaps in
+	// a whole new table with a bumped epoch. Reads load the table
+	// lock-free; writes hold their slot's writeMu shared so a migration
+	// cut-over (exclusive) can drain them before flipping the route.
+	tab atomic.Pointer[routingTable]
+	// writeMu[i] is slot i's write barrier: every mutation holds it
+	// shared for the duration of the shard call and loads the table
+	// only after acquiring it, so once Migrate holds it exclusively, no
+	// write can land on the old transport or miss the new one.
+	writeMu []sync.RWMutex
 	// results is the optional window cache (nil = off). Entries are
 	// keyed version-agnostically (Key.Version = 0); the retained
 	// window's own Version is what conditional revalidation sends.
 	results atomic.Pointer[cache.Cache]
 	// health tracks per-shard liveness (health.go); index-parallel to
-	// shards.
+	// the table's slots.
 	health []shardHealth
+	// latency holds per-shard latency histograms of answered
+	// operations; Quantile(0.95) seeds replica hedge delays.
+	latency []*obs.Histogram
+	// migration outcome counters (Migrate; exposed via SetObs).
+	migrationsOK     atomic.Uint64
+	migrationsFailed atomic.Uint64
+}
+
+// routingTable is one immutable shard assignment. Migrate replaces the
+// whole table atomically; readers of one batch therefore observe one
+// consistent assignment.
+type routingTable struct {
+	epoch  uint64
+	shards []client.Transport
 }
 
 // NewRouter builds a router over the given shard transports (local
-// servers, HTTP endpoints, or a mix).
+// servers, HTTP endpoints, replica sets, or a mix). Transports must be
+// distinct — wiring one server into two slots would fake capacity and
+// corrupt per-shard health (client.TransportIdentity decides).
+// Replica-set shards get their hedge delay seeded from the router's
+// observed per-shard latency unless one was pinned explicitly.
 func NewRouter(shards ...client.Transport) (*Router, error) {
 	if len(shards) == 0 {
 		return nil, errors.New("cluster: need at least one shard")
 	}
-	return &Router{
-		shards: append([]client.Transport(nil), shards...),
-		health: make([]shardHealth, len(shards)),
-	}, nil
+	seen := make(map[any]int, len(shards))
+	for i, t := range shards {
+		if t == nil {
+			return nil, fmt.Errorf("cluster: nil transport for shard %d", i)
+		}
+		id := client.TransportIdentity(t)
+		if prev, dup := seen[id]; dup {
+			return nil, fmt.Errorf("cluster: shards %d and %d are the same transport", prev, i)
+		}
+		seen[id] = i
+	}
+	r := &Router{
+		writeMu: make([]sync.RWMutex, len(shards)),
+		health:  make([]shardHealth, len(shards)),
+		latency: make([]*obs.Histogram, len(shards)),
+	}
+	for i := range r.latency {
+		r.latency[i] = obs.NewHistogram(nil)
+	}
+	for i, t := range shards {
+		if set, ok := t.(*replica.Set); ok {
+			set.SeedHedgeDelay(r.hedgeDelaySeed(i))
+		}
+	}
+	r.tab.Store(&routingTable{epoch: 1, shards: append([]client.Transport(nil), shards...)})
+	return r, nil
 }
 
-// NumShards returns the shard count.
-func (r *Router) NumShards() int { return len(r.shards) }
+// table is the current routing table.
+func (r *Router) table() *routingTable { return r.tab.Load() }
+
+// transport is the transport currently serving a slot.
+func (r *Router) transport(shard int) client.Transport { return r.table().shards[shard] }
+
+// Epoch identifies the current routing table; every Migrate bumps it.
+func (r *Router) Epoch() uint64 { return r.table().epoch }
+
+// NumShards returns the shard-slot count (fixed for the router's
+// lifetime).
+func (r *Router) NumShards() int { return len(r.health) }
 
 // SetCache installs (or, with nil, removes) the router-side window
 // cache. Reuse is always revalidated against the owning shard's
@@ -104,7 +167,7 @@ func groupsOf(toks []crypt.Token) string {
 // Assignment is static so inserting and querying clients agree without
 // coordination.
 func (r *Router) ShardFor(list zerber.ListID) int {
-	return int(uint32(list) % uint32(len(r.shards)))
+	return int(uint32(list) % uint32(len(r.health)))
 }
 
 // Login implements client.Transport. Shards share their secret and
@@ -112,7 +175,7 @@ func (r *Router) ShardFor(list zerber.ListID) int {
 // shard answers.
 func (r *Router) Login(ctx context.Context, user string) ([]crypt.Token, error) {
 	done := r.observeShard(0)
-	toks, err := r.shards[0].Login(ctx, user)
+	toks, err := r.transport(0).Login(ctx, user)
 	done(err)
 	return toks, err
 }
@@ -120,18 +183,22 @@ func (r *Router) Login(ctx context.Context, user string) ([]crypt.Token, error) 
 // Insert implements client.Transport.
 func (r *Router) Insert(ctx context.Context, tok crypt.Token, list zerber.ListID, el server.StoredElement) error {
 	shard := r.ShardFor(list)
+	r.writeMu[shard].RLock()
+	defer r.writeMu[shard].RUnlock()
 	done := r.observeShard(shard)
-	err := r.shards[shard].Insert(ctx, tok, list, el)
+	err := r.transport(shard).Insert(ctx, tok, list, el)
 	done(err)
 	return err
 }
 
 // Query implements client.Transport, passing through the owning
-// shard's measured wire bytes.
+// shard's measured wire bytes. Reads take no write barrier: during a
+// migration cut-over they are served by whichever table they load —
+// both sides hold identical content at that point.
 func (r *Router) Query(ctx context.Context, toks []crypt.Token, list zerber.ListID, offset, count int) (server.QueryResponse, int, error) {
 	shard := r.ShardFor(list)
 	done := r.observeShard(shard)
-	resp, wire, err := r.shards[shard].Query(ctx, toks, list, offset, count)
+	resp, wire, err := r.transport(shard).Query(ctx, toks, list, offset, count)
 	done(err)
 	return resp, wire, err
 }
@@ -139,8 +206,10 @@ func (r *Router) Query(ctx context.Context, toks []crypt.Token, list zerber.List
 // Remove implements client.Transport.
 func (r *Router) Remove(ctx context.Context, tok crypt.Token, list zerber.ListID, sealed []byte) error {
 	shard := r.ShardFor(list)
+	r.writeMu[shard].RLock()
+	defer r.writeMu[shard].RUnlock()
 	done := r.observeShard(shard)
-	err := r.shards[shard].Remove(ctx, tok, list, sealed)
+	err := r.transport(shard).Remove(ctx, tok, list, sealed)
 	done(err)
 	return err
 }
@@ -148,10 +217,17 @@ func (r *Router) Remove(ctx context.Context, tok crypt.Token, list zerber.ListID
 // shardFanOut groups batch operation indices by owning shard and runs
 // fn concurrently per shard with the shard-local index slice. Every
 // shard runs under a context derived from the caller's that is
-// canceled on the first shard failure, so in-flight requests to the
-// remaining shards are abandoned rather than awaited. A shard-local
-// *server.BatchError is remapped onto the caller's original batch
-// index, so partial-failure reporting survives the scatter/gather.
+// canceled on the first shard FAULT — a transport failure, internal
+// error or overload rejection, i.e. evidence the batch cannot succeed
+// anyway — so in-flight requests to the remaining shards are abandoned
+// rather than awaited. A clean per-operation rejection (a BatchError
+// carrying forbidden, unknown-list, not-found, ...) does NOT cancel
+// the siblings: the shard is healthy and the other shards' sub-batches
+// are independent work the caller observed as applied, so interrupting
+// them mid-apply would only convert one precise partial-failure report
+// into several vague ones. A shard-local *server.BatchError is
+// remapped onto the caller's original batch index, so partial-failure
+// reporting survives the scatter/gather.
 //
 // Error precedence: the caller's own cancellation surfaces as the
 // plain context error; otherwise the lowest-numbered shard that
@@ -181,6 +257,7 @@ func (r *Router) shardFanOut(ctx context.Context, n int, listOf func(i int) zerb
 			err := fn(fanCtx, s, idxs)
 			done(err)
 			if err != nil {
+				abort := fanOutAborts(err)
 				var be *server.BatchError
 				// The shard-local index is remote input (an HTTP shard
 				// controls it); remap only if it addresses this
@@ -193,7 +270,9 @@ func (r *Router) shardFanOut(ctx context.Context, n int, listOf func(i int) zerb
 				mu.Lock()
 				errs[s] = err
 				mu.Unlock()
-				cancel() // abandon the remaining shards
+				if abort {
+					cancel() // abandon the remaining shards
+				}
 			}
 		}(s, byShard[s])
 	}
@@ -254,7 +333,7 @@ func (r *Router) QueryBatch(ctx context.Context, toks []crypt.Token, queries []s
 				}
 			}
 		}
-		res, err := r.shards[shard].QueryBatch(ctx, toks, sub)
+		res, err := r.transport(shard).QueryBatch(ctx, toks, sub)
 		if err != nil {
 			return err
 		}
@@ -322,7 +401,9 @@ func (r *Router) InsertBatch(ctx context.Context, tok crypt.Token, ops []server.
 		for j, gi := range idxs {
 			sub[j] = ops[gi]
 		}
-		return r.shards[shard].InsertBatch(ctx, tok, sub)
+		r.writeMu[shard].RLock()
+		defer r.writeMu[shard].RUnlock()
+		return r.transport(shard).InsertBatch(ctx, tok, sub)
 	})
 }
 
@@ -337,7 +418,9 @@ func (r *Router) RemoveBatch(ctx context.Context, tok crypt.Token, ops []server.
 		for j, gi := range idxs {
 			sub[j] = ops[gi]
 		}
-		return r.shards[shard].RemoveBatch(ctx, tok, sub)
+		r.writeMu[shard].RLock()
+		defer r.writeMu[shard].RUnlock()
+		return r.transport(shard).RemoveBatch(ctx, tok, sub)
 	})
 }
 

@@ -76,10 +76,11 @@ func TestNewRouterValidation(t *testing.T) {
 }
 
 func TestShardAssignmentStable(t *testing.T) {
-	r, err := NewRouter(client.Local{}, client.Local{}, client.Local{})
+	l, err := NewLocal(3, []byte("s"), time.Hour)
 	if err != nil {
 		t.Fatal(err)
 	}
+	r := l.Router
 	for list := zerber.ListID(0); list < 100; list++ {
 		a := r.ShardFor(list)
 		b := r.ShardFor(list)

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"zerberr/internal/obs"
+	"zerberr/internal/replica"
 	"zerberr/internal/server"
 )
 
@@ -26,6 +27,24 @@ const (
 	MetricShardOpsTotal    = "zerber_shard_ops_total"
 	MetricShardErrorsTotal = "zerber_shard_errors_total"
 	MetricShardConsecFails = "zerber_shard_consecutive_failures"
+	MetricShardLatencyP95  = "zerber_shard_latency_p95_seconds"
+	MetricRoutingEpoch     = "zerber_routing_epoch"
+	MetricMigrationsTotal  = "zerber_migrations_total"
+)
+
+// DemoteAfter is the consecutive-fault run after which a shard is
+// considered down for routing purposes: its replica set (if it is one)
+// is told to hedge immediately — reads route around the primary with
+// zero delay — and Health/metrics flag it for the operator. A single
+// answered operation clears the run.
+const DemoteAfter = 5
+
+// Hedge-delay clamp for latency-derived seeds: below hedgeDelayMin the
+// hedge storm costs more than it saves; above hedgeDelayMax a stall
+// must not go unhedged just because the shard was historically slow.
+const (
+	hedgeDelayMin = 2 * time.Millisecond
+	hedgeDelayMax = 500 * time.Millisecond
 )
 
 // shardHealth is one shard's live counters. All hot-path fields are
@@ -63,6 +82,14 @@ type ShardHealth struct {
 	// happened.
 	LastError   string    `json:"last_error,omitempty"`
 	LastErrorAt time.Time `json:"last_error_at,omitzero"`
+	// LatencyP95 estimates the shard's 95th-percentile latency over
+	// answered operations, in seconds — the signal the hedge delay is
+	// seeded from. Zero until the shard has answered something.
+	LatencyP95 float64 `json:"latency_p95_seconds,omitempty"`
+	// Demoted reports the consecutive-fault run crossed DemoteAfter:
+	// the shard's replica set hedges immediately until it answers
+	// again.
+	Demoted bool `json:"demoted,omitempty"`
 }
 
 // observeShard begins one shard operation; call the returned func with
@@ -70,6 +97,7 @@ type ShardHealth struct {
 func (r *Router) observeShard(shard int) func(error) {
 	h := &r.health[shard]
 	h.inFlight.Add(1)
+	start := time.Now()
 	return func(err error) {
 		h.inFlight.Add(-1)
 		h.ops.Add(1)
@@ -83,12 +111,54 @@ func (r *Router) observeShard(shard int) func(error) {
 			h.mu.Unlock()
 		case err == nil || !isContextErr(err):
 			// The shard answered (success or a clean application
-			// rejection): it is alive.
+			// rejection): it is alive. Only answered operations feed the
+			// latency histogram — timed-out faults would teach the hedge
+			// seed that "slow is normal", exactly backwards.
 			h.consecFails.Store(0)
+			r.latency[shard].Observe(time.Since(start).Seconds())
 		}
 		// Context errors are neutral: the caller (or a sibling shard's
 		// failure) abandoned the operation, which says nothing about
 		// this shard's health.
+	}
+}
+
+// fanOutAborts reports whether a shard's batch error warrants
+// canceling the sibling shards: faults mean the batch cannot succeed
+// and waiting is pure latency, while clean per-operation rejections
+// leave the siblings' independent work to finish.
+func fanOutAborts(err error) bool {
+	return isContextErr(err) || shardFault(err)
+}
+
+// demoted reports whether the shard's consecutive-fault run crossed
+// the routing threshold.
+func (r *Router) demoted(shard int) bool {
+	return r.health[shard].consecFails.Load() >= DemoteAfter
+}
+
+// hedgeDelaySeed derives a shard's hedge delay for its replica set: a
+// demoted shard hedges immediately (reads route around the faulting
+// primary), a healthy one hedges at its observed p95 (≈5% of reads
+// hedge), clamped to sane bounds; with no observations yet the set's
+// own default applies (negative = "no opinion").
+func (r *Router) hedgeDelaySeed(shard int) func() time.Duration {
+	return func() time.Duration {
+		if r.demoted(shard) {
+			return 0
+		}
+		p95 := r.latency[shard].Quantile(0.95)
+		if p95 <= 0 {
+			return -1
+		}
+		d := time.Duration(p95 * float64(time.Second))
+		if d < hedgeDelayMin {
+			d = hedgeDelayMin
+		}
+		if d > hedgeDelayMax {
+			d = hedgeDelayMax
+		}
+		return d
 	}
 }
 
@@ -127,6 +197,8 @@ func (r *Router) Health() []ShardHealth {
 			ConsecutiveFailures: h.consecFails.Load(),
 			LastError:           lastErr,
 			LastErrorAt:         lastAt,
+			LatencyP95:          r.latency[i].Quantile(0.95),
+			Demoted:             h.consecFails.Load() >= DemoteAfter,
 		}
 	}
 	return out
@@ -150,5 +222,21 @@ func (r *Router) SetObs(reg *obs.Registry) {
 			func() float64 { return float64(h.errs.Load()) }, label)
 		reg.GaugeFunc(MetricShardConsecFails, "current run of consecutive shard faults",
 			func() float64 { return float64(h.consecFails.Load()) }, label)
+		lat := r.latency[i]
+		reg.GaugeFunc(MetricShardLatencyP95, "estimated p95 latency of answered shard operations",
+			func() float64 { return lat.Quantile(0.95) }, label)
+		if set, ok := r.transport(i).(*replica.Set); ok {
+			// A replica-set shard contributes its hedging counters under
+			// the shard label. (The set behind a slot can change under
+			// Migrate; these families stay bound to the boot-time set —
+			// migrated-in sets report through their own registries.)
+			set.SetObs(reg, label)
+		}
 	}
+	reg.GaugeFunc(MetricRoutingEpoch, "current routing-table epoch (bumped by every migration)",
+		func() float64 { return float64(r.Epoch()) })
+	reg.CounterFunc(MetricMigrationsTotal, "completed shard migrations by result",
+		func() float64 { return float64(r.migrationsOK.Load()) }, obs.Label{Name: "result", Value: "ok"})
+	reg.CounterFunc(MetricMigrationsTotal, "completed shard migrations by result",
+		func() float64 { return float64(r.migrationsFailed.Load()) }, obs.Label{Name: "result", Value: "error"})
 }

@@ -206,6 +206,8 @@ func TestMetricsScrapeExposition(t *testing.T) {
 		store.MetricSnapshotsTotal, store.MetricWALPoisoned,
 		MetricShardInFlight, MetricShardOpsTotal,
 		MetricShardErrorsTotal, MetricShardConsecFails,
+		MetricShardLatencyP95, MetricRoutingEpoch,
+		MetricMigrationsTotal,
 	} {
 		if !families[fam] {
 			t.Errorf("family %s missing from scrape", fam)

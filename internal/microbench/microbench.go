@@ -12,6 +12,7 @@ package microbench
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"os"
 	"sort"
@@ -25,6 +26,7 @@ import (
 	"zerberr/internal/corpus"
 	"zerberr/internal/crypt"
 	"zerberr/internal/obs"
+	"zerberr/internal/replica"
 	"zerberr/internal/server"
 	"zerberr/internal/store"
 	"zerberr/internal/zerber"
@@ -49,6 +51,8 @@ func Suite() []Bench {
 		{"StoreMemoryInsert", MemoryInsert},
 		{"SearchSerialVsBatched/inproc/serial", SearchSerial},
 		{"SearchSerialVsBatched/inproc/batched", SearchBatched},
+		{"HedgedQuery/healthy", HedgedQueryHealthy},
+		{"HedgedQuery/failover", HedgedQueryFailover},
 	}
 }
 
@@ -311,6 +315,111 @@ func MemoryInsert(b *testing.B) {
 		}
 	}
 }
+
+// --- hedged replica reads -------------------------------------------
+
+// downTransport is a permanently dead shard member: every call is an
+// unclassified error, which the replica layer treats as a fault worth
+// failing over.
+type downTransport struct{}
+
+var errDown = errors.New("microbench: member down")
+
+func (downTransport) Login(context.Context, string) ([]crypt.Token, error) { return nil, errDown }
+func (downTransport) Insert(context.Context, crypt.Token, zerber.ListID, server.StoredElement) error {
+	return errDown
+}
+func (downTransport) Query(context.Context, []crypt.Token, zerber.ListID, int, int) (server.QueryResponse, int, error) {
+	return server.QueryResponse{}, 0, errDown
+}
+func (downTransport) Remove(context.Context, crypt.Token, zerber.ListID, []byte) error {
+	return errDown
+}
+func (downTransport) QueryBatch(context.Context, []crypt.Token, []server.ListQuery) (client.BatchQueryResult, error) {
+	return client.BatchQueryResult{}, errDown
+}
+func (downTransport) InsertBatch(context.Context, crypt.Token, []server.InsertOp) error {
+	return errDown
+}
+func (downTransport) RemoveBatch(context.Context, crypt.Token, []server.RemoveOp) error {
+	return errDown
+}
+
+type replicaFixture struct {
+	healthy  *replica.Set // live primary: hedge timer armed, never fires
+	failover *replica.Set // dead primary: every read pays the failover hop
+}
+
+var (
+	replMembers = 2
+	replOnce    sync.Once
+	replFix     *replicaFixture
+)
+
+// SetReplicaMembers sizes the hedged-query fixture's replica sets
+// (primary + N-1 replicas; minimum 2). Call before the first
+// HedgedQuery benchmark runs — `zerber-bench -replicas N` does.
+func SetReplicaMembers(n int) {
+	if n >= 2 {
+		replMembers = n
+	}
+}
+
+// replicaSets builds (once) two replica sets over the shared warmed
+// backend: one healthy (the hedging machinery's steady-state overhead)
+// and one whose primary is down (the failover path's cost). Every
+// member is its own server over the same backend, so answers are
+// identical regardless of who wins the race.
+func replicaSets() *replicaFixture {
+	replOnce.Do(func() {
+		f := servers()
+		secret := []byte("microbench-secret")
+		replicas := make([]client.Transport, replMembers-1)
+		for i := range replicas {
+			replicas[i] = client.Local{S: server.NewWithBackend(secret, time.Hour, bigList().mem)}
+		}
+		healthy, err := replica.NewSet(client.Local{S: f.cached}, replicas...)
+		if err != nil {
+			panic(err)
+		}
+		failover, err := replica.NewSet(downTransport{}, replicas...)
+		if err != nil {
+			panic(err)
+		}
+		replFix = &replicaFixture{healthy: healthy, failover: failover}
+	})
+	return replFix
+}
+
+// hedgedQuery drives the deep follow-up window through a replica set.
+func hedgedQuery(b *testing.B, set *replica.Set) {
+	f := servers()
+	ctx := context.Background()
+	r := followupRounds[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, _, err := set.Query(ctx, f.toks, fixtureList, r.Offset, r.Count)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(resp.Elements) != r.Count {
+			b.Fatalf("%d elements", len(resp.Elements))
+		}
+	}
+}
+
+// HedgedQueryHealthy measures a replica-set read with a healthy
+// primary: the hedge timer is armed and torn down every read but never
+// fires, so the delta over QueryCached/hit is the hedging machinery's
+// steady-state cost.
+func HedgedQueryHealthy(b *testing.B) { hedgedQuery(b, replicaSets().healthy) }
+
+// HedgedQueryFailover is the same read with the primary down: the
+// first reads pay the fault plus the failover hop, then demotion
+// (replica.DemoteAfter) routes subsequent reads straight to the
+// replica — the steady-state price of riding out a dead primary.
+func HedgedQueryFailover(b *testing.B) { hedgedQuery(b, replicaSets().failover) }
 
 // --- end-to-end search ----------------------------------------------
 

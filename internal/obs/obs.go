@@ -320,6 +320,13 @@ type Histogram struct {
 	count  atomic.Uint64
 }
 
+// NewHistogram builds a standalone histogram outside any registry —
+// for components that track latency internally (the cluster router's
+// per-shard hedge-delay seed) and only optionally expose quantiles via
+// scrape-time samplers. buckets as in Registry.Histogram; nil means
+// LatencyBuckets.
+func NewHistogram(buckets []float64) *Histogram { return newHistogram(buckets) }
+
 func newHistogram(buckets []float64) *Histogram {
 	if buckets == nil {
 		buckets = LatencyBuckets

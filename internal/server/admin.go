@@ -1,0 +1,347 @@
+package server
+
+// Admin plane: the snapshot-transfer API beneath live shard migration
+// and replica resync (internal/cluster, internal/replica). A peer
+// holding the cluster's shared secret can export this shard's atomic
+// ZSNAP2 dump, import one, fetch the WAL tail logged after a dump's
+// sequence, apply a decoded tail, and fetch a per-list content digest
+// for differential verification across a cut-over.
+//
+// Access control is deliberately not token-based: tokens authorize
+// per-group reads and writes, while these calls move whole-index state
+// between servers. They are gated by an HMAC derived from the token
+// secret itself (AdminMAC) — exactly the set of parties that already
+// operate the fleet — and everything they move is content the source
+// server already held in its untrusted role (sealed payloads, TRS
+// values, group IDs), so the admin plane widens no leakage surface.
+
+import (
+	"context"
+	"crypto/hmac"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+
+	"zerberr/internal/cache"
+	"zerberr/internal/store"
+	"zerberr/internal/zerber"
+)
+
+// TailOp aliases the store's decoded WAL mutation so the wire format
+// and the storage hook agree (the StoredElement idiom).
+type TailOp = store.TailOp
+
+// SnapshotExport is one shard's exported state: the self-verifying
+// ZSNAP2 dump, the WAL sequence it covers, and whether the shard can
+// serve TailSince for sequences at or beyond Seq (a durable backend
+// can; a RAM-only one cannot, so its export is only consistent if the
+// caller paused writes around it).
+type SnapshotExport struct {
+	Data     []byte
+	Seq      uint64
+	Tailable bool
+}
+
+// ListDigest summarizes one list for differential verification: its
+// mutation version, element count and a CRC-64 over the rank-ordered
+// (group, trs, sealed) content. Sum is hex so the JSON survives
+// decoders that round large integers.
+type ListDigest struct {
+	List     zerber.ListID `json:"list"`
+	Version  uint64        `json:"version"`
+	Elements int           `json:"elements"`
+	Sum      string        `json:"sum"`
+}
+
+// TailResponse carries a WAL tail between shards.
+type TailResponse struct {
+	Ops []TailOp `json:"ops"`
+}
+
+// ApplyOpsRequest is the /v3/admin/ops payload.
+type ApplyOpsRequest struct {
+	Ops []TailOp `json:"ops"`
+}
+
+// DigestResponse is the /v3/admin/digest payload.
+type DigestResponse struct {
+	Lists []ListDigest `json:"lists"`
+}
+
+// maxAdminOps bounds one ApplyOps request; longer tails are chunked by
+// the caller.
+const maxAdminOps = 1 << 20
+
+// maxImportBytes bounds an imported snapshot body.
+const maxImportBytes = 1 << 30
+
+// AdminMAC derives the admin-plane credential from the token-signing
+// secret: hex(HMAC-SHA256(secret, "zerber-admin-v1")). Shards of one
+// cluster share the secret, so they (and the operator's tooling) can
+// derive it; nobody else can. Sent as the X-Zerber-Admin header.
+func AdminMAC(secret []byte) string {
+	mac := hmac.New(sha256.New, secret)
+	mac.Write([]byte("zerber-admin-v1"))
+	return hex.EncodeToString(mac.Sum(nil))
+}
+
+// SetAdminEnabled toggles the admin endpoints (default enabled). A
+// disabled admin plane answers 404, indistinguishable from a build
+// that never mounted it.
+func (s *Server) SetAdminEnabled(on bool) { s.adminOff.Store(!on) }
+
+// ExportSnapshot returns the shard's full state as an atomic ZSNAP2
+// dump. Tailable reports whether TailSince can later serve the
+// mutations logged after Seq.
+func (s *Server) ExportSnapshot(ctx context.Context) (SnapshotExport, error) {
+	if err := ctx.Err(); err != nil {
+		return SnapshotExport{}, err
+	}
+	data, seq, err := s.backend.ExportSnapshot()
+	if err != nil {
+		return SnapshotExport{}, fmt.Errorf("server: exporting snapshot: %w", err)
+	}
+	// Capability probe: a log-keeping backend answers a beyond-head
+	// tail with an empty slice in O(1); a log-less one with ErrNoTail.
+	_, terr := s.backend.TailSince(math.MaxUint64)
+	if m := s.met.Load(); m != nil {
+		m.snapExports.Inc()
+	}
+	return SnapshotExport{Data: data, Seq: seq, Tailable: terr == nil}, nil
+}
+
+// ImportSnapshot replaces the shard's entire contents with a dump
+// produced by ExportSnapshot, dropping any result-cache state the old
+// contents may still validate under a colliding version epoch.
+func (s *Server) ImportSnapshot(ctx context.Context, data []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return fmt.Errorf("%w: empty snapshot", ErrBadRequest)
+	}
+	if err := s.backend.ImportSnapshot(data); err != nil {
+		if errors.Is(err, store.ErrBadSnapshot) {
+			return fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		return fmt.Errorf("server: importing snapshot: %w", err)
+	}
+	// The cache keys on (list, groups, window, version); imported
+	// versions come from another instance's epoch, so entries cached
+	// against the pre-import content can no longer be trusted to miss.
+	if c := s.results.Load(); c != nil {
+		s.SetCache(cache.New(c.Stats().Capacity))
+	}
+	if m := s.met.Load(); m != nil {
+		m.snapImports.Inc()
+	}
+	return nil
+}
+
+// TailSince returns the mutations logged after seq (see
+// store.Backend.TailSince for the ErrNoTail / ErrTailTruncated
+// contract, surfaced here as ErrBadRequest-wrapped errors so remote
+// callers can tell them from transport faults).
+func (s *Server) TailSince(ctx context.Context, seq uint64) ([]TailOp, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ops, err := s.backend.TailSince(seq)
+	if err != nil {
+		if errors.Is(err, store.ErrNoTail) || errors.Is(err, store.ErrTailTruncated) {
+			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		return nil, fmt.Errorf("server: reading tail: %w", err)
+	}
+	if m := s.met.Load(); m != nil {
+		m.tailOps.Add(uint64(len(ops)))
+	}
+	return ops, nil
+}
+
+// ApplyOps applies a decoded WAL tail in order through the normal
+// mutation path, so versions advance on the destination exactly as
+// they did on the source. The error carries the offending index as a
+// BatchError; operations before it are applied (the caller re-syncs or
+// discards the shard on failure — migration never flips a route
+// without a clean digest match).
+func (s *Server) ApplyOps(ctx context.Context, ops []TailOp) error {
+	if len(ops) > maxAdminOps {
+		return fmt.Errorf("%w: %d ops exceed the %d per-request bound", ErrBadRequest, len(ops), maxAdminOps)
+	}
+	for i, op := range ops {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var err error
+		switch op.Op {
+		case store.TailOpInsert:
+			err = s.backend.Insert(op.List, store.Element{Sealed: op.Sealed, TRS: op.TRS, Group: op.Group})
+		case store.TailOpRemove:
+			err = s.backend.Remove(op.List, op.Sealed, nil)
+			if errors.Is(err, store.ErrNotFound) || errors.Is(err, store.ErrUnknownList) {
+				// A remove whose insert the snapshot already folded away
+				// is a no-op, the same stance WAL replay takes.
+				err = nil
+			}
+		default:
+			err = fmt.Errorf("%w: unknown op %q", ErrBadRequest, op.Op)
+		}
+		if err != nil {
+			return &BatchError{Index: i, Err: err}
+		}
+	}
+	if m := s.met.Load(); m != nil {
+		m.opsApplied.Add(uint64(len(ops)))
+	}
+	return nil
+}
+
+// Digest summarizes every list for differential verification. It is
+// only a consistent whole-shard cut while writes are paused (the
+// migration barrier, the replica resync lock); individual list entries
+// are always internally consistent.
+func (s *Server) Digest(ctx context.Context) ([]ListDigest, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	lists, err := s.backend.Lists()
+	if err != nil {
+		return nil, fmt.Errorf("server: listing: %w", err)
+	}
+	out := make([]ListDigest, 0, len(lists))
+	tab := crc64.MakeTable(crc64.ECMA)
+	var f8 [8]byte
+	for _, id := range lists {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		d := ListDigest{List: id}
+		sum := crc64.New(tab)
+		verr := s.backend.View(id, func(elems []StoredElement) {
+			d.Elements = len(elems)
+			var vbuf [binary.MaxVarintLen64]byte
+			for _, el := range elems {
+				n := binary.PutVarint(vbuf[:], int64(el.Group))
+				sum.Write(vbuf[:n])
+				binary.BigEndian.PutUint64(f8[:], math.Float64bits(el.TRS))
+				sum.Write(f8[:])
+				n = binary.PutUvarint(vbuf[:], uint64(len(el.Sealed)))
+				sum.Write(vbuf[:n])
+				sum.Write(el.Sealed)
+			}
+		})
+		if verr != nil {
+			return nil, fmt.Errorf("server: digesting list: %w", verr)
+		}
+		if d.Version, verr = s.backend.Version(id); verr != nil {
+			return nil, fmt.Errorf("server: digesting list: %w", verr)
+		}
+		d.Sum = strconv.FormatUint(sum.Sum64(), 16)
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// adminAuthed enforces the MAC gate (and the enable toggle) for one
+// admin request.
+func (s *Server) adminAuthed(w http.ResponseWriter, r *http.Request) bool {
+	if s.adminOff.Load() {
+		http.NotFound(w, r)
+		return false
+	}
+	got := r.Header.Get("X-Zerber-Admin")
+	want := AdminMAC(s.secret)
+	if subtle.ConstantTimeCompare([]byte(got), []byte(want)) != 1 {
+		writeErrV2(w, fmt.Errorf("%w: missing or wrong admin MAC", ErrAuth))
+		return false
+	}
+	return true
+}
+
+// registerAdmin mounts the admin-plane endpoints (Handler calls it).
+func (s *Server) registerAdmin(handle func(method, path string, h http.HandlerFunc)) {
+	handle("GET", "/v3/admin/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		if !s.adminAuthed(w, r) {
+			return
+		}
+		exp, err := s.ExportSnapshot(r.Context())
+		if err != nil {
+			writeErrV2(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-Zerber-Seq", strconv.FormatUint(exp.Seq, 10))
+		tailable := "0"
+		if exp.Tailable {
+			tailable = "1"
+		}
+		w.Header().Set("X-Zerber-Tailable", tailable)
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(exp.Data)
+	})
+	handle("PUT", "/v3/admin/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		if !s.adminAuthed(w, r) {
+			return
+		}
+		data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxImportBytes))
+		if err != nil {
+			writeErrV2(w, fmt.Errorf("%w: reading snapshot body: %v", ErrBadRequest, err))
+			return
+		}
+		if err := s.ImportSnapshot(r.Context(), data); err != nil {
+			writeErrV2(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, struct{}{})
+	})
+	handle("GET", "/v3/admin/tail", func(w http.ResponseWriter, r *http.Request) {
+		if !s.adminAuthed(w, r) {
+			return
+		}
+		after, err := strconv.ParseUint(r.URL.Query().Get("after"), 10, 64)
+		if err != nil {
+			writeErrV2(w, fmt.Errorf("%w: bad after parameter: %v", ErrBadRequest, err))
+			return
+		}
+		ops, err := s.TailSince(r.Context(), after)
+		if err != nil {
+			writeErrV2(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, TailResponse{Ops: ops})
+	})
+	handle("POST", "/v3/admin/ops", func(w http.ResponseWriter, r *http.Request) {
+		if !s.adminAuthed(w, r) {
+			return
+		}
+		var req ApplyOpsRequest
+		if !decodeV2(w, r, &req) {
+			return
+		}
+		if err := s.ApplyOps(r.Context(), req.Ops); err != nil {
+			writeErrV2(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, struct{}{})
+	})
+	handle("GET", "/v3/admin/digest", func(w http.ResponseWriter, r *http.Request) {
+		if !s.adminAuthed(w, r) {
+			return
+		}
+		lists, err := s.Digest(r.Context())
+		if err != nil {
+			writeErrV2(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, DigestResponse{Lists: lists})
+	})
+}

@@ -319,6 +319,9 @@ func (s *Server) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, st)
 	})
+	// v3 admin plane: snapshot transfer for migration and replica
+	// resync. MAC-gated (AdminMAC), toggleable via SetAdminEnabled.
+	s.registerAdmin(handle)
 	if reg := s.Obs(); reg != nil {
 		// Deliberately outside the middleware: scrapes must not be
 		// shed, must not skew the latency families, and need no

@@ -31,6 +31,13 @@ const (
 	MetricCacheEvictsTotal   = "zerber_cache_evictions_total"
 	MetricCacheBytes         = "zerber_cache_bytes"
 	MetricUptimeSeconds      = "zerber_uptime_seconds"
+	// Admin-plane families (snapshot transfer beneath migration and
+	// replica resync). Registered at SetObs time so a scrape sees them
+	// from boot — the CI migration smoke greps a fresh server.
+	MetricAdminSnapshotExports = "zerber_admin_snapshot_exports_total"
+	MetricAdminSnapshotImports = "zerber_admin_snapshot_imports_total"
+	MetricAdminTailOps         = "zerber_admin_tail_ops_total"
+	MetricAdminOpsApplied      = "zerber_admin_ops_applied_total"
 )
 
 // serverMetrics holds the handles the request path observes into.
@@ -46,6 +53,10 @@ type serverMetrics struct {
 	rateLimited *obs.Counter
 	shed        *obs.Counter
 	inFlight    *obs.Gauge
+	snapExports *obs.Counter // admin snapshot exports served
+	snapImports *obs.Counter // admin snapshot imports accepted
+	tailOps     *obs.Counter // WAL-tail operations served
+	opsApplied  *obs.Counter // admin-applied tail operations
 }
 
 // SetObs installs a metrics registry: the server registers its query
@@ -68,6 +79,10 @@ func (s *Server) SetObs(reg *obs.Registry) {
 		rateLimited: reg.Counter(MetricRateLimitedTotal, "requests refused by the per-user rate limit"),
 		shed:        reg.Counter(MetricShedTotal, "requests shed by the in-flight bound"),
 		inFlight:    reg.Gauge(MetricHTTPInFlight, "HTTP requests currently being served"),
+		snapExports: reg.Counter(MetricAdminSnapshotExports, "admin snapshot exports served"),
+		snapImports: reg.Counter(MetricAdminSnapshotImports, "admin snapshot imports accepted"),
+		tailOps:     reg.Counter(MetricAdminTailOps, "WAL-tail operations served to admin peers"),
+		opsApplied:  reg.Counter(MetricAdminOpsApplied, "tail operations applied through the admin plane"),
 	}
 	reg.GaugeFunc(MetricUptimeSeconds, "seconds since the metrics registry was installed", func() float64 {
 		return time.Since(m.start).Seconds()

@@ -100,6 +100,9 @@ type Server struct {
 	// on the server (not serverMetrics) so shedding works with no
 	// registry installed.
 	inflight atomic.Int64
+	// adminOff disables the /v3/admin endpoints (SetAdminEnabled).
+	// Inverted so the zero value keeps them on.
+	adminOff atomic.Bool
 }
 
 // New creates a server with the given token-signing secret and an

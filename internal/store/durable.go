@@ -103,6 +103,7 @@ type Durable struct {
 	wal          *wal
 	lock         *os.File // held flock on the data directory
 	seq          uint64   // sequence of the last logged operation
+	walBase      uint64   // sequence the live WAL restarted at (last compaction)
 	opsSinceSnap int
 	lastSnapErr  error // most recent automatic-snapshot failure, if any
 	walErr       error // sticky log-write failure; set when the on-disk state is ambiguous
@@ -167,7 +168,7 @@ func OpenDurable(dir string, opt Options) (*Durable, error) {
 	if err != nil {
 		return fail(fmt.Errorf("store: opening WAL: %w", err))
 	}
-	return &Durable{mem: mem, dir: dir, opt: opt, met: newDurableMetrics(opt.Obs), wal: w, lock: lock, seq: maxSeq}, nil
+	return &Durable{mem: mem, dir: dir, opt: opt, met: newDurableMetrics(opt.Obs), wal: w, lock: lock, seq: maxSeq, walBase: snapSeq}, nil
 }
 
 // loadOrCreateEpoch reads the directory's persisted version epoch, or
@@ -390,6 +391,7 @@ func (d *Durable) snapshotLocked() (err error) {
 	d.walErr = nil
 	d.met.poisoned.Set(0)
 	d.opsSinceSnap = 0
+	d.walBase = d.seq
 	return nil
 }
 

@@ -102,12 +102,12 @@ func encodeSnapshot(f io.Writer, seq uint64, m *Memory) error {
 	}
 	var f8 [8]byte
 	for _, id := range lists {
-		version, verr := m.Version(id)
-		if verr != nil && !errors.Is(verr, ErrUnknownList) {
-			return verr
-		}
 		var viewErr error
-		err := m.View(id, func(elems []Element) {
+		// Version and elements are read under one lock acquisition
+		// (viewVersioned), so a live export — writers active on other
+		// lists — can never pair a version with another version's
+		// content.
+		err := m.viewVersioned(id, func(version uint64, elems []Element) {
 			if viewErr = writeUvarint(uint64(id)); viewErr != nil {
 				return
 			}
@@ -134,13 +134,14 @@ func encodeSnapshot(f io.Writer, seq uint64, m *Memory) error {
 			}
 		})
 		if err != nil {
-			// The list vanished between Lists and View (concurrent
-			// remove); write it as empty to keep the count honest.
+			// The list vanished between Lists and View (unreachable
+			// today — lists are never dropped — but kept defensive);
+			// write it as empty to keep the count honest.
 			if errors.Is(err, ErrUnknownList) {
 				if err := writeUvarint(uint64(id)); err != nil {
 					return err
 				}
-				if err := writeUvarint(version); err != nil {
+				if err := writeUvarint(0); err != nil {
 					return err
 				}
 				if err := writeUvarint(0); err != nil {
@@ -165,14 +166,20 @@ func encodeSnapshot(f io.Writer, seq uint64, m *Memory) error {
 // readSnapshot loads the snapshot at path into a fresh Memory. A
 // missing file yields an empty store at sequence zero — a first boot.
 func readSnapshot(path string) (seq uint64, m *Memory, _ error) {
-	m = NewMemory()
 	data, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return 0, m, nil
+		return 0, NewMemory(), nil
 	}
 	if err != nil {
 		return 0, nil, err
 	}
+	return decodeSnapshot(data)
+}
+
+// decodeSnapshot parses a ZSNAP2 (or legacy ZSNAP1) dump into a fresh
+// Memory — the shared core of crash recovery and snapshot import.
+func decodeSnapshot(data []byte) (seq uint64, m *Memory, _ error) {
+	m = NewMemory()
 	if len(data) < len(snapMagic)+4 {
 		return 0, nil, fmt.Errorf("%w: missing magic", ErrBadSnapshot)
 	}
@@ -190,7 +197,7 @@ func readSnapshot(path string) (seq uint64, m *Memory, _ error) {
 		return 0, nil, fmt.Errorf("%w: checksum mismatch", ErrBadSnapshot)
 	}
 	rd := newByteCursor(body)
-	seq, err = binary.ReadUvarint(rd)
+	seq, err := binary.ReadUvarint(rd)
 	if err != nil {
 		return 0, nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 	}

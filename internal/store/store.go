@@ -136,6 +136,24 @@ type Backend interface {
 	NumLists() (int, error)
 	// NumElements reports the total number of stored elements.
 	NumElements() (int, error)
+	// ExportSnapshot returns a point-in-time ZSNAP2 dump of the whole
+	// backend — every list in rank order with its mutation version —
+	// plus the WAL sequence the dump covers (0 for engines without a
+	// log). The dump is self-verifying (CRC-framed) and is what live
+	// shard migration ships; see migrate.go.
+	ExportSnapshot() (data []byte, seq uint64, err error)
+	// ImportSnapshot replaces the backend's entire contents with a
+	// ZSNAP2 dump produced by ExportSnapshot, carrying the source's
+	// per-list versions along so version-keyed caches stay coherent
+	// across the move. Durable engines persist the imported state
+	// before adopting it.
+	ImportSnapshot(data []byte) error
+	// TailSince returns the mutations logged after the given sequence,
+	// in order — the WAL tail a migration replays on top of a shipped
+	// snapshot. Engines without a log return ErrNoTail; a logged engine
+	// whose compaction already dropped part of the requested range
+	// returns ErrTailTruncated (re-export and try again).
+	TailSince(seq uint64) ([]TailOp, error)
 	// Close releases the backend's resources, flushing any buffered
 	// state to stable storage first.
 	Close() error
@@ -537,6 +555,14 @@ func skipMerged(lists [][]relem, cur []int, skip int) {
 // whole-list paths (snapshot encoding, remove pre-flights, the
 // adversary's view).
 func (m *Memory) View(list zerber.ListID, fn func(elems []Element)) error {
+	return m.viewVersioned(list, func(_ uint64, elems []Element) { fn(elems) })
+}
+
+// viewVersioned is View plus the list's mutation version, both read
+// under one lock acquisition — the atomicity a live snapshot export
+// needs so a dump can never pair one version with another version's
+// elements.
+func (m *Memory) viewVersioned(list zerber.ListID, fn func(version uint64, elems []Element)) error {
 	ml := m.list(list, false)
 	if ml == nil {
 		return ErrUnknownList
@@ -544,7 +570,7 @@ func (m *Memory) View(list zerber.ListID, fn func(elems []Element)) error {
 	unlock := ml.lockSorted(nil)
 	defer unlock()
 	res := ml.queryLocked(nil, 0, ml.total+1)
-	fn(res.Elements)
+	fn(ml.version, res.Elements)
 	return nil
 }
 
@@ -624,6 +650,16 @@ func (m *Memory) load(list zerber.ListID, elems []Element, sorted bool, version 
 	}
 	m.mu.Lock()
 	m.lists[list] = ml
+	m.mu.Unlock()
+}
+
+// adopt swaps in another Memory's list map wholesale (snapshot
+// import). Readers that already hold a merged-list pointer finish on
+// the pre-import state; verBase stays this instance's own, so lists
+// minted after the import cannot collide with pre-import versions.
+func (m *Memory) adopt(src *Memory) {
+	m.mu.Lock()
+	m.lists = src.lists
 	m.mu.Unlock()
 }
 
