@@ -3,8 +3,10 @@ package zerberr_test
 // Storage-engine benchmarks: the durable path (internal/store) from
 // day one, alongside the figure and protocol benches in bench_test.go.
 // BenchmarkStoreAppend measures the logged insert hot path (one WAL
-// record framed, checksummed and pushed per op); BenchmarkStoreRecover
-// measures a cold start replaying snapshot + WAL into RAM.
+// record framed, checksummed and pushed per op),
+// BenchmarkStoreAppendParallel the group-committed concurrent variant,
+// and BenchmarkStoreRecover cold starts — full replay and the
+// mmap-backed lazy path's time to first query.
 //
 // The hot-path benches (query follow-ups, cached queries, appends)
 // live in internal/microbench, shared with `zerber-bench -json` so CI
@@ -21,6 +23,18 @@ import (
 func BenchmarkStoreAppend(b *testing.B) {
 	b.Run("fsync=false", microbench.StoreAppend)
 	b.Run("fsync=true", microbench.StoreAppendFsync)
+}
+
+// BenchmarkStoreAppendParallel is the write-path overhaul's headline
+// number: concurrent durable inserts with the synchronous per-op
+// commit (window=0) versus the group committer at the default window.
+// Grouped appends share one coalesced WAL write per batch, which is
+// what keeps "durable" within a small factor of the RAM-only
+// StoreMemoryInsert floor (run with `zerber-bench -fsync-each` to see
+// the amortization against real fsyncs).
+func BenchmarkStoreAppendParallel(b *testing.B) {
+	b.Run("window=0", microbench.StoreAppendParallelSync)
+	b.Run("grouped", microbench.StoreAppendParallelGrouped)
 }
 
 func BenchmarkStoreMemoryInsert(b *testing.B) {
@@ -63,7 +77,15 @@ func BenchmarkInstrumentedQuery(b *testing.B) {
 	b.Run("hit", microbench.QueryInstrumentedHit)
 }
 
+// BenchmarkStoreRecover measures cold starts. The wal-only/snapshot
+// subs replay a 20k-element dir end to end (NumElements touches only
+// list metadata, so they bound the open-time scan); the first-query
+// subs are the restart-latency story — open a 100k-element, 512-list
+// snapshot and answer one query, with the snapshot mmapped and decoded
+// lazily (mmap) versus read whole into the heap up front (readall).
 func BenchmarkStoreRecover(b *testing.B) {
+	b.Run("first-query/mmap", microbench.StoreRecoverMmap)
+	b.Run("first-query/readall", microbench.StoreRecoverReadAll)
 	const elements = 20000
 	for _, mode := range []struct {
 		name     string

@@ -7,7 +7,7 @@
 //	zerber-bench -list
 //	zerber-bench -run fig11 [-scale 1] [-seed 1] [-csv results/]
 //	zerber-bench -run all -scale 0.5
-//	zerber-bench -json [-replicas 3] > BENCH_7.json
+//	zerber-bench -json [-replicas 3] [-fsync-each] > BENCH_8.json
 //
 // Scale 1 is the laptop default; the paper-sized collections are
 // roughly -scale 4 (Stud IP) and -scale 30 (ODP).
@@ -46,15 +46,16 @@ func fatal(msg string, args ...any) {
 
 func main() {
 	var (
-		list     = flag.Bool("list", false, "list experiment IDs and exit")
-		run      = flag.String("run", "all", "experiment ID to run, or 'all'")
-		scale    = flag.Float64("scale", 1, "corpus scale factor (1 = laptop default)")
-		seed     = flag.Uint64("seed", 1, "deterministic seed")
-		csvDir   = flag.String("csv", "", "also write per-experiment CSV files into this directory")
-		quiet    = flag.Bool("q", false, "suppress progress logging")
-		batched  = flag.Bool("batched", false, "drive search-timing loops over the batched v2 protocol (the bandwidth experiment always reports serial-vs-batched round-trips)")
-		jsonMode = flag.Bool("json", false, "run the key micro-benchmarks and print one JSON line per benchmark (the BENCH_*.json snapshot format)")
-		replicas = flag.Int("replicas", 2, "members per replica set (primary + N-1 replicas) in the HedgedQuery micro-benchmarks")
+		list      = flag.Bool("list", false, "list experiment IDs and exit")
+		run       = flag.String("run", "all", "experiment ID to run, or 'all'")
+		scale     = flag.Float64("scale", 1, "corpus scale factor (1 = laptop default)")
+		seed      = flag.Uint64("seed", 1, "deterministic seed")
+		csvDir    = flag.String("csv", "", "also write per-experiment CSV files into this directory")
+		quiet     = flag.Bool("q", false, "suppress progress logging")
+		batched   = flag.Bool("batched", false, "drive search-timing loops over the batched v2 protocol (the bandwidth experiment always reports serial-vs-batched round-trips)")
+		jsonMode  = flag.Bool("json", false, "run the key micro-benchmarks and print one JSON line per benchmark (the BENCH_*.json snapshot format)")
+		replicas  = flag.Int("replicas", 2, "members per replica set (primary + N-1 replicas) in the HedgedQuery micro-benchmarks")
+		fsyncEach = flag.Bool("fsync-each", false, "run the write micro-benchmarks (StoreAppend, StoreAppendParallel) with an fsync per commit, measuring the real-disk durability cost group commit amortizes")
 	)
 	flag.Parse()
 
@@ -66,6 +67,7 @@ func main() {
 	}
 	if *jsonMode {
 		microbench.SetReplicaMembers(*replicas)
+		microbench.SetWriteFsync(*fsyncEach)
 		runMicrobenchJSON(*quiet)
 		return
 	}

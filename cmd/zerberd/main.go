@@ -7,7 +7,8 @@
 //
 //	zerberd -addr :8021 -secret-file secret.key \
 //	        -user john=0,1 -user alice=1 [-token-ttl 1h] \
-//	        [-data-dir /var/lib/zerberd] [-cache-bytes N | -cache-off] \
+//	        [-data-dir /var/lib/zerberd] [-fsync-each] [-commit-window 200us] \
+//	        [-cache-bytes N | -cache-off] \
 //	        [-log-level info] [-log-format text|json] [-pprof] \
 //	        [-rate-limit N] [-rate-burst N] [-max-inflight N] [-admin=false]
 //
@@ -15,7 +16,12 @@
 // With it, every accepted insert/remove is write-ahead logged and
 // periodically folded into a snapshot (internal/store), so a restarted
 // daemon serves the same index — including after a crash that tears
-// the final log record.
+// the final log record. Concurrent writers group-commit: appends
+// landing within -commit-window share one log write and (under
+// -fsync-each) one fsync, amortizing the durability cost across
+// writers; -commit-window=0 commits every operation synchronously on
+// its own. Batched uploads (/v2/insert) are logged as a single record
+// regardless of the window.
 //
 // Repeated ranked-range reads are served from a version-keyed
 // query-result cache (internal/cache) by default; -cache-bytes sizes
@@ -111,6 +117,7 @@ func main() {
 		dataDir     = flag.String("data-dir", "", "directory for the durable index (WAL + snapshots); empty keeps the index in RAM only")
 		snapEvery   = flag.Int("snapshot-every", store.DefaultSnapshotEvery, "logged operations between automatic snapshots (with -data-dir)")
 		fsyncEach   = flag.Bool("fsync-each", false, "fsync the write-ahead log after every operation (with -data-dir)")
+		commitWin   = flag.Duration("commit-window", store.DefaultCommitWindow, "group-commit window: concurrent writes within it share one WAL write and fsync; 0 commits each operation synchronously (with -data-dir)")
 		cacheBytes  = flag.Int64("cache-bytes", 64<<20, "query-result cache capacity in bytes (see GET /v2/stats for hit/miss counters)")
 		cacheOff    = flag.Bool("cache-off", false, "disable the query-result cache")
 		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn or error")
@@ -157,10 +164,11 @@ func main() {
 	if *dataDir != "" {
 		storeLog := logger.With("component", "store")
 		durable, err = store.OpenDurable(*dataDir, store.Options{
-			SnapshotEvery: *snapEvery,
-			FsyncEach:     *fsyncEach,
-			Logf:          func(format string, args ...any) { storeLog.Info(fmt.Sprintf(format, args...)) },
-			Obs:           reg,
+			SnapshotEvery:     *snapEvery,
+			FsyncEach:         *fsyncEach,
+			GroupCommitWindow: *commitWin,
+			Logf:              func(format string, args ...any) { storeLog.Info(fmt.Sprintf(format, args...)) },
+			Obs:               reg,
 		})
 		if err != nil {
 			fail("opening data dir failed", "dir", *dataDir, "err", err)

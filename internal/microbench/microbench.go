@@ -17,6 +17,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -48,7 +49,11 @@ func Suite() []Bench {
 		{"QueryCached/uncached", QueryCachedUncached},
 		{"QueryInstrumented/hit", QueryInstrumentedHit},
 		{"StoreAppend", StoreAppend},
+		{"StoreAppendParallel/window=0", StoreAppendParallelSync},
+		{"StoreAppendParallel/grouped", StoreAppendParallelGrouped},
 		{"StoreMemoryInsert", MemoryInsert},
+		{"StoreRecover/first-query/mmap", StoreRecoverMmap},
+		{"StoreRecover/first-query/readall", StoreRecoverReadAll},
 		{"SearchSerialVsBatched/inproc/serial", SearchSerial},
 		{"SearchSerialVsBatched/inproc/batched", SearchBatched},
 		{"HedgedQuery/healthy", HedgedQueryHealthy},
@@ -279,9 +284,21 @@ func BenchElement(i int) store.Element {
 	return store.Element{Sealed: sealed, TRS: float64(i % 997), Group: i % 8}
 }
 
+// writeFsync makes the write benchmarks pay an fsync per commit; see
+// SetWriteFsync.
+var writeFsync bool
+
+// SetWriteFsync switches the write benchmarks (StoreAppend,
+// StoreAppendParallel) to FsyncEach mode. `zerber-bench -fsync-each`
+// sets it before the suite runs, so JSON snapshots can record the
+// real-disk durability cost — and the amortization group commit buys
+// against it — instead of only the buffered-write path.
+func SetWriteFsync(on bool) { writeFsync = on }
+
 // StoreAppend measures the durable insert hot path (one WAL record
-// framed, checksummed and pushed per op; no fsync, no snapshots).
-func StoreAppend(b *testing.B) { storeAppend(b, false) }
+// framed, checksummed and pushed per op; no snapshots; fsync per op
+// only under SetWriteFsync).
+func StoreAppend(b *testing.B) { storeAppend(b, writeFsync) }
 
 // StoreAppendFsync is StoreAppend with an fsync per operation.
 func StoreAppendFsync(b *testing.B) { storeAppend(b, true) }
@@ -305,12 +322,161 @@ func storeAppend(b *testing.B, fsync bool) {
 	}
 }
 
+// StoreAppendParallelSync measures concurrent durable inserts through
+// the synchronous per-operation commit path (GroupCommitWindow zero):
+// every appender pays its own WAL write (and fsync, under
+// SetWriteFsync) while holding the store lock.
+func StoreAppendParallelSync(b *testing.B) { storeAppendParallel(b, 0) }
+
+// StoreAppendParallelGrouped is the same concurrent workload through
+// the group committer at the default window: appenders publish into
+// the commit queue and share one coalesced write (and one fsync) per
+// batch. The CI gate compares it against StoreMemoryInsert — the
+// write-path overhaul's whole point is keeping this within a small
+// factor of the RAM-only floor.
+func StoreAppendParallelGrouped(b *testing.B) {
+	storeAppendParallel(b, store.DefaultCommitWindow)
+}
+
+func storeAppendParallel(b *testing.B, window time.Duration) {
+	dir, err := os.MkdirTemp("", "microbench-wal-*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	d, err := store.OpenDurable(dir, store.Options{
+		SnapshotEvery:     -1,
+		FsyncEach:         writeFsync,
+		GroupCommitWindow: window,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	var ctr atomic.Int64
+	b.ReportAllocs()
+	// A shard serves many concurrent request handlers regardless of
+	// core count — oversubscribe so the commit queue sees the
+	// contention group commit exists for (GOMAXPROCS writers on a
+	// small box degenerate to one record per batch).
+	b.SetParallelism(32)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(ctr.Add(1))
+			if err := d.Insert(zerber.ListID(i%64), BenchElement(i)); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
 // MemoryInsert is the RAM-only insert floor under StoreAppend.
 func MemoryInsert(b *testing.B) {
 	m := store.NewMemory()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := m.Insert(zerber.ListID(i%64), BenchElement(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- cold-start recovery --------------------------------------------
+
+const (
+	recoverElems = 100_000
+	recoverLists = 512
+)
+
+var (
+	recoverOnce sync.Once
+	recoverDir  string
+	recoverErr  error
+)
+
+// recoverFixture builds (once) a data dir whose snapshot holds 100k
+// elements across 512 lists, the cold-start workload of the recovery
+// benchmarks. The dir outlives the benchmarks (shared fixture, no
+// per-run cleanup hook) and is reclaimed with the OS temp dir.
+func recoverFixture() (string, error) {
+	recoverOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "microbench-recover-*")
+		if err != nil {
+			recoverErr = err
+			return
+		}
+		d, err := store.OpenDurable(dir, store.Options{SnapshotEvery: -1})
+		if err != nil {
+			recoverErr = err
+			return
+		}
+		batch := make([]store.BatchInsert, 0, 4096)
+		flush := func() error {
+			if len(batch) == 0 {
+				return nil
+			}
+			err := d.InsertBatch(batch)
+			batch = batch[:0]
+			return err
+		}
+		for i := 0; i < recoverElems; i++ {
+			batch = append(batch, store.BatchInsert{
+				List:    zerber.ListID(i % recoverLists),
+				Element: BenchElement(i),
+			})
+			if len(batch) == cap(batch) {
+				if recoverErr = flush(); recoverErr != nil {
+					return
+				}
+			}
+		}
+		if recoverErr = flush(); recoverErr != nil {
+			return
+		}
+		if recoverErr = d.Snapshot(); recoverErr != nil {
+			return
+		}
+		if recoverErr = d.Close(); recoverErr != nil {
+			return
+		}
+		recoverDir = dir
+	})
+	return recoverDir, recoverErr
+}
+
+// StoreRecoverMmap measures time-to-first-query after a restart on the
+// default recovery path: the snapshot is mmapped, framing is validated
+// in one sequential scan, and only the queried list's elements are
+// decoded — the other 511 lists stay raw bytes.
+func StoreRecoverMmap(b *testing.B) { storeRecover(b, false) }
+
+// StoreRecoverReadAll is the same cold start with SnapshotReadAll: the
+// whole snapshot is read into the heap up front (the pre-mmap
+// behavior, kept as the baseline the CI gate compares against).
+func StoreRecoverReadAll(b *testing.B) { storeRecover(b, true) }
+
+func storeRecover(b *testing.B, readAll bool) {
+	dir, err := recoverFixture()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := store.OpenDurable(dir, store.Options{SnapshotEvery: -1, SnapshotReadAll: readAll})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := d.Query(zerber.ListID(i%recoverLists), nil, 0, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Elements) != 10 {
+			b.Fatalf("first query returned %d elements", len(res.Elements))
+		}
+		if err := d.Close(); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -4,14 +4,17 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
 	"zerberr/internal/cache"
+	"zerberr/internal/obs"
 	"zerberr/internal/store"
 	"zerberr/internal/zerber"
 )
@@ -81,6 +84,44 @@ func TestAdminApplyOps(t *testing.T) {
 	var be *BatchError
 	if !errors.As(err, &be) || be.Index != 0 || !errors.Is(err, ErrBadRequest) {
 		t.Fatalf("unknown op: err=%v, want indexed ErrBadRequest", err)
+	}
+}
+
+// TestAdminApplyOpsBatchesInsertRuns pins the resync/migration write
+// cost: a replayed tail's consecutive inserts reach a durable backend
+// as one batched operation per run, so the whole tail costs one WAL
+// record per insert run (plus one per remove), not one per element.
+func TestAdminApplyOpsBatchesInsertRuns(t *testing.T) {
+	ctx := context.Background()
+	reg := obs.NewRegistry()
+	backend, err := store.OpenDurable(t.TempDir(), store.Options{Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewWithBackend([]byte("secret"), time.Hour, backend)
+	defer s.Close()
+	var ops []TailOp
+	for i := 0; i < 50; i++ {
+		ops = append(ops, TailOp{Op: store.TailOpInsert, List: 1, Group: i % 3, TRS: float64(i), Sealed: []byte(fmt.Sprintf("a%02d", i))})
+	}
+	ops = append(ops, TailOp{Op: store.TailOpRemove, List: 1, Sealed: []byte("a00")})
+	for i := 0; i < 30; i++ {
+		ops = append(ops, TailOp{Op: store.TailOpInsert, List: 2, Group: 0, TRS: float64(i), Sealed: []byte(fmt.Sprintf("b%02d", i))})
+	}
+	if err := s.ApplyOps(ctx, ops); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.ListLen(1); n != 49 {
+		t.Fatalf("list 1 holds %d elements, want 49", n)
+	}
+	if n := s.ListLen(2); n != 30 {
+		t.Fatalf("list 2 holds %d elements, want 30", n)
+	}
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	// Two insert runs + one remove = three WAL records for 81 ops.
+	if !strings.Contains(buf.String(), store.MetricWALRecordsTotal+" 3") {
+		t.Fatalf("applying %d ops did not log as 3 WAL records; metrics:\n%s", len(ops), buf.String())
 	}
 }
 

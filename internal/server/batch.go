@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"zerberr/internal/crypt"
+	"zerberr/internal/store"
 	"zerberr/internal/zerber"
 )
 
@@ -171,9 +172,11 @@ func (s *Server) QueryBatch(ctx context.Context, toks []crypt.Token, queries []L
 // InsertBatch stores a batch of sealed posting elements under one
 // token. The whole batch is validated (payloads present, token covers
 // every element's group) before any element is applied, so a bad
-// operation fails the batch atomically with its index; only a storage
-// I/O failure (durable backend) or a context canceled mid-apply can
-// interrupt a validated batch with earlier elements applied.
+// operation fails the batch atomically with its index. The validated
+// batch is then handed to the backend as one operation — on a durable
+// store that is a single batched WAL record and (under group commit)
+// one fsync for the whole upload — so a storage failure is a failure
+// of the batch as a unit, not of an index within it.
 func (s *Server) InsertBatch(ctx context.Context, tok crypt.Token, ops []InsertOp) error {
 	if err := checkBatchSize(len(ops)); err != nil {
 		return err
@@ -185,6 +188,7 @@ func (s *Server) InsertBatch(ctx context.Context, tok crypt.Token, ops []InsertO
 	if err := s.admit(tok.User, now); err != nil {
 		return err
 	}
+	batch := make([]store.BatchInsert, len(ops))
 	for i, op := range ops {
 		if op.Element.Sealed == nil {
 			return &BatchError{Index: i, Err: fmt.Errorf("%w: empty payload", ErrBadRequest)}
@@ -192,21 +196,16 @@ func (s *Server) InsertBatch(ctx context.Context, tok crypt.Token, ops []InsertO
 		if !allowed[op.Element.Group] {
 			return &BatchError{Index: i, Err: fmt.Errorf("%w: token group %d, element group %d", ErrForbidden, tok.Group, op.Element.Group)}
 		}
+		batch[i] = store.BatchInsert{List: op.List, Element: op.Element}
 	}
-	var applied uint64
-	defer func() {
-		if m := s.met.Load(); m != nil {
-			m.inserts.Add(applied)
-		}
-	}()
-	for i, op := range ops {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		if err := s.backend.Insert(op.List, op.Element); err != nil {
-			return &BatchError{Index: i, Err: err}
-		}
-		applied++
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := s.backend.InsertBatch(batch); err != nil {
+		return err
+	}
+	if m := s.met.Load(); m != nil {
+		m.inserts.Add(uint64(len(ops)))
 	}
 	return nil
 }

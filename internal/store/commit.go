@@ -1,0 +1,336 @@
+package store
+
+// Group commit: the write-path refactor that makes "durable" cost
+// close to "in memory" under concurrency. Appenders (serialized on
+// Durable.mu) publish pre-framed records into the committer's open
+// batch; each batch is written as one coalesced buffer and — under
+// FsyncEach — pays one fsync for every waiter in it. A waiter is
+// unblocked only after its batch's write (and fsync, when configured)
+// has completed, so the durability contract per record is exactly the
+// synchronous path's; only the cost is amortized.
+//
+// Who performs the write depends on what is being amortized:
+//
+//   - Without FsyncEach a commit is just a buffered write, so the
+//     batch's first enqueuer becomes its **leader**: once the previous
+//     batch settles it claims the open batch and commits it on its own
+//     goroutine, later enqueuers (followers) spin briefly and park.
+//     No handoff to a dedicated goroutine means no extra context
+//     switches on the hot path, and the previous commit's in-flight
+//     write is the natural collection window.
+//   - With FsyncEach and a window, a dedicated committer goroutine
+//     wakes on the first enqueue, sleeps out the commit window so the
+//     batch collects waiters, and pays one fsync for all of them. A
+//     leader can't do that job without burning its caller's latency on
+//     strangers' records beyond the window it owes anyway.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// commitBatch is one coalesced run of framed records and the channel
+// its waiters block on. err is written before committed flips and
+// never after; committed lets waiters poll cheaply (a few yields
+// usually outlast a buffered write) before paying a channel park.
+type commitBatch struct {
+	buf       []byte
+	done      chan struct{}
+	committed atomic.Bool
+	err       error
+}
+
+// wait blocks until the batch is committed and returns its outcome —
+// the follower side: spin through a few scheduler yields (the commit
+// is a microsecond-scale buffered write in leader mode), then park.
+func (b *commitBatch) wait() error {
+	for i := 0; i < 8; i++ {
+		if b.committed.Load() {
+			return b.err
+		}
+		runtime.Gosched()
+	}
+	<-b.done
+	return b.err
+}
+
+// groupCommitter owns the WAL writes of a Durable opened with a
+// non-zero GroupCommitWindow. It never takes Durable.mu — drain runs
+// under that lock and waits on the committer, so the committer taking
+// it would deadlock.
+type groupCommitter struct {
+	window time.Duration
+	fsync  bool
+	met    durableMetrics
+	// onErr reports a failed commit (it poisons the owning store). It
+	// is called before the failed batch's waiters are released, so a
+	// waiter that saw its error — or a drainer that saw all batches
+	// settle — also sees the poison.
+	onErr func(error)
+
+	mu       sync.Mutex
+	w        *wal         // swapped only by tests, under mu
+	cur      *commitBatch // open batch accepting appends, nil when none
+	inflight *commitBatch // batch being committed, nil when none
+	// failed is the first commit error, sticky until reset: once a
+	// batch may have left a torn run mid-file, later writes would bury
+	// the damage where torn-tail recovery cannot reach it, and acked
+	// records after the gap would silently vanish on replay. Only a
+	// snapshot (which truncates the log) clears it.
+	failed error
+	// free recycles a settled batch's buffer (committed, no longer
+	// referenced) so steady-state batches allocate nothing but their
+	// struct and channel.
+	free []byte
+
+	// Daemon mode (FsyncEach with a window) only; nil otherwise.
+	wake    chan struct{}
+	quit    chan struct{}
+	stopped chan struct{}
+}
+
+func newGroupCommitter(w *wal, window time.Duration, fsync bool, met durableMetrics, onErr func(error)) *groupCommitter {
+	g := &groupCommitter{
+		window: window,
+		fsync:  fsync,
+		met:    met,
+		onErr:  onErr,
+		w:      w,
+	}
+	if g.daemon() {
+		g.wake = make(chan struct{}, 1)
+		g.quit = make(chan struct{})
+		g.stopped = make(chan struct{})
+		go g.run()
+	}
+	return g
+}
+
+// daemon reports whether a dedicated committer goroutine drives
+// commits (fsync amortization wants a real collection window); in
+// leader mode the first enqueuer of each batch commits it instead.
+func (g *groupCommitter) daemon() bool { return g.fsync && g.window > 0 }
+
+// enqueue frames one payload into the open batch (opening one if
+// needed) and returns the batch to wait on plus whether the caller
+// opened it — the opener leads the batch's commit in leader mode.
+// Callers hold Durable.mu, which is what keeps enqueue ordering equal
+// to sequence-number ordering.
+func (g *groupCommitter) enqueue(payload []byte) (b *commitBatch, opened bool) {
+	g.mu.Lock()
+	b = g.cur
+	if b == nil {
+		b = &commitBatch{buf: g.free, done: make(chan struct{})}
+		g.free = nil
+		g.cur = b
+		opened = true
+		if g.wake != nil {
+			select {
+			case g.wake <- struct{}{}:
+			default:
+			}
+		}
+	}
+	b.buf = appendFrame(b.buf, payload)
+	g.mu.Unlock()
+	return b, opened
+}
+
+// waitFor blocks until b is committed: as its leader when the caller
+// opened it in leader mode, as a follower otherwise.
+func (g *groupCommitter) waitFor(b *commitBatch, opened bool) error {
+	if opened && !g.daemon() {
+		return g.leadWait(b)
+	}
+	return b.wait()
+}
+
+// leadWait is the leader side of a commit: once the previous batch
+// has settled (its leader clears inflight), claim the open batch and
+// commit it on this goroutine. The spin is bounded by the previous
+// batch's buffered write — leader mode never fsyncs per batch — and
+// each yield lets concurrent appenders grow the batch this leader is
+// about to write, which is the collection window.
+func (g *groupCommitter) leadWait(b *commitBatch) error {
+	prev := -1
+	for !b.committed.Load() {
+		g.mu.Lock()
+		if g.inflight == nil && g.cur == b {
+			if n := len(b.buf); n != prev {
+				// Still collecting: every yield lets already-runnable
+				// appenders add their records to the batch this leader
+				// is about to write. Claim once the growth stalls —
+				// this costs no wall time a sleep would, Gosched only
+				// runs goroutines that are ready anyway.
+				prev = n
+				g.mu.Unlock()
+				runtime.Gosched()
+				continue
+			}
+			g.cur = nil
+			g.inflight = b
+			w, failed := g.w, g.failed
+			g.mu.Unlock()
+			g.settle(b, w, failed)
+			break
+		}
+		g.mu.Unlock()
+		runtime.Gosched()
+	}
+	return b.err
+}
+
+// run is the daemon committer: wake on the first record, let the
+// commit window fill the batch, commit, repeat.
+func (g *groupCommitter) run() {
+	defer close(g.stopped)
+	for {
+		select {
+		case <-g.quit:
+			g.commitPending() // settle any stragglers so no waiter leaks
+			return
+		case <-g.wake:
+		}
+		// The window exists to amortize the fsync: collect more
+		// waiters per sync.
+		t := time.NewTimer(g.window)
+		select {
+		case <-t.C:
+		case <-g.quit:
+			t.Stop()
+			g.commitPending()
+			return
+		}
+		g.commitPending()
+	}
+}
+
+// commitPending takes the open batch, whatever its size, and settles
+// it. New appends land in a fresh batch meanwhile.
+func (g *groupCommitter) commitPending() {
+	g.mu.Lock()
+	b := g.cur
+	g.cur = nil
+	g.inflight = b
+	w, failed := g.w, g.failed
+	g.mu.Unlock()
+	if b == nil {
+		return
+	}
+	g.settle(b, w, failed)
+}
+
+// settle commits one claimed batch (unless the log is already
+// failed), records any failure, and releases the batch's waiters.
+// The caller has moved b from cur to inflight.
+func (g *groupCommitter) settle(b *commitBatch, w *wal, failed error) {
+	var err error
+	if failed != nil {
+		err = fmt.Errorf("store: WAL poisoned by earlier group-commit failure (snapshot to recover): %w", failed)
+	} else if err = g.commit(w, b.buf); err != nil {
+		g.mu.Lock()
+		g.failed = err
+		g.mu.Unlock()
+		g.onErr(err)
+	}
+	b.err = err
+	b.committed.Store(true)
+	close(b.done)
+	g.mu.Lock()
+	g.inflight = nil
+	// Recycle the committed buffer for the next batch; a giant batch
+	// (an oversized InsertBatch flush) is let go rather than pinned.
+	if g.free == nil && cap(b.buf) <= 1<<20 {
+		g.free = b.buf[:0]
+	}
+	g.mu.Unlock()
+}
+
+// commit writes one coalesced buffer and makes it durable per the
+// store's fsync policy.
+func (g *groupCommitter) commit(w *wal, buf []byte) error {
+	var start time.Time
+	if g.met.walAppend != nil {
+		start = time.Now()
+	}
+	if err := w.write(buf); err != nil {
+		return err
+	}
+	if g.met.walAppend != nil {
+		g.met.walAppend.Observe(time.Since(start).Seconds())
+	}
+	if g.fsync {
+		if g.met.walFsync != nil {
+			start = time.Now()
+		}
+		if err := w.sync(); err != nil {
+			return err
+		}
+		if g.met.walFsync != nil {
+			g.met.walFsync.Observe(time.Since(start).Seconds())
+		}
+	}
+	return nil
+}
+
+// drain blocks until every record enqueued so far has been committed
+// (or failed) and returns the sticky failure, if any. Callers hold
+// Durable.mu, so no new batches can form while it waits — snapshots,
+// tail exports and Close use it as their write barrier.
+//
+// An open batch that nobody has claimed is settled by the drainer
+// itself when there is no daemon: its leader may be the very
+// goroutine draining (a mutation that tripped an automatic snapshot
+// drains before it ever reaches its commit wait), and a leader that
+// is someone else cannot claim faster than the drainer anyway —
+// whoever wins the claim race settles, the loser sees committed.
+func (g *groupCommitter) drain() error {
+	for {
+		g.mu.Lock()
+		if b := g.inflight; b != nil {
+			// Another goroutine is mid-settle; let it finish.
+			g.mu.Unlock()
+			<-b.done
+			continue
+		}
+		b := g.cur
+		if b == nil {
+			failed := g.failed
+			g.mu.Unlock()
+			return failed
+		}
+		if g.daemon() {
+			g.mu.Unlock()
+			<-b.done
+			continue
+		}
+		g.cur = nil
+		g.inflight = b
+		w, failed := g.w, g.failed
+		g.mu.Unlock()
+		g.settle(b, w, failed)
+	}
+}
+
+// reset clears the sticky failure — called only after a successful
+// snapshot has captured the live state and truncated the log, which
+// makes any earlier ambiguous write moot.
+func (g *groupCommitter) reset() {
+	g.mu.Lock()
+	g.failed = nil
+	g.mu.Unlock()
+}
+
+// stop terminates the daemon committer, settling any still-queued
+// batch first; a no-op in leader mode. Callers drain (under
+// Durable.mu) before stopping, so leader-mode batches are settled.
+func (g *groupCommitter) stop() {
+	if g.quit == nil {
+		return
+	}
+	close(g.quit)
+	<-g.stopped
+}

@@ -36,6 +36,26 @@ type Options struct {
 	// the tail written since). The torn-record recovery path handles
 	// whatever the crash leaves behind either way.
 	FsyncEach bool
+	// GroupCommitWindow enables group commit: appenders publish records
+	// into a commit queue and a single committer writes them as one
+	// coalesced buffer — under FsyncEach, one fsync per window of at
+	// most this duration — unblocking each waiter only after its
+	// record's write (and fsync) completed. Zero keeps the synchronous
+	// per-record path. Callers wanting the default batching pass
+	// DefaultCommitWindow explicitly (zerberd's -commit-window does).
+	//
+	// With a window, a mutation is applied to memory when its sequence
+	// is assigned and its caller unblocked when the commit lands, so a
+	// commit failure can leave an op visible in memory but not on disk;
+	// the store poisons itself at that point (mutations refused, the
+	// healing snapshot persists the live state), so the window never
+	// widens silently.
+	GroupCommitWindow time.Duration
+	// SnapshotReadAll forces snapshot recovery to read the file into
+	// memory up front instead of mmap-ing it (benchmark baselines,
+	// diagnostics). The default mmap path defers per-list decoding and
+	// lets first-touch page faults pull only what queries need.
+	SnapshotReadAll bool
 	// Logf, when set, receives operational warnings the store cannot
 	// return to any caller (automatic-snapshot failures, WAL poisoning).
 	Logf func(format string, args ...any)
@@ -82,13 +102,18 @@ func newDurableMetrics(r *obs.Registry) durableMetrics {
 		snapshot:   r.Histogram(MetricSnapshotSeconds, "full snapshot write+compact latency", nil),
 		snapOK:     r.Counter(MetricSnapshotsTotal, "snapshots attempted by result", obs.Label{Name: "result", Value: "ok"}),
 		snapErr:    r.Counter(MetricSnapshotsTotal, "snapshots attempted by result", obs.Label{Name: "result", Value: "error"}),
-		walRecords: r.Counter(MetricWALRecordsTotal, "operations appended to the WAL"),
+		walRecords: r.Counter(MetricWALRecordsTotal, "records appended to the WAL (a batched insert counts once)"),
 		poisoned:   r.Gauge(MetricWALPoisoned, "1 while the WAL refuses mutations after a write failure"),
 	}
 }
 
 // DefaultSnapshotEvery is the automatic compaction threshold.
 const DefaultSnapshotEvery = 1 << 16
+
+// DefaultCommitWindow is the group-commit window servers use unless
+// tuned: long enough to coalesce concurrent appenders' fsyncs, short
+// enough to stay invisible next to a network round-trip.
+const DefaultCommitWindow = 200 * time.Microsecond
 
 // Durable is a crash-safe Backend: a Memory store whose mutations are
 // write-ahead logged, periodically folded into an atomic snapshot, and
@@ -106,7 +131,20 @@ type Durable struct {
 	walBase      uint64   // sequence the live WAL restarted at (last compaction)
 	opsSinceSnap int
 	lastSnapErr  error // most recent automatic-snapshot failure, if any
-	walErr       error // sticky log-write failure; set when the on-disk state is ambiguous
+
+	// committer owns WAL writes when GroupCommitWindow > 0; nil keeps
+	// the synchronous per-record path.
+	committer *groupCommitter
+
+	// walErr is the sticky log-write failure, set when the on-disk
+	// state is ambiguous. It lives under its own mutex — not d.mu —
+	// because the committer goroutine sets it while snapshot/drain
+	// paths hold d.mu waiting on that same goroutine. hasPoison
+	// mirrors walErr != nil so the per-mutation health check is one
+	// atomic load, not a lock round-trip.
+	poisonMu  sync.Mutex
+	walErr    error
+	hasPoison atomic.Bool
 
 	// closed is atomic so the read path can refuse service after Close
 	// without serializing on mu (which mutations and snapshots hold for
@@ -133,7 +171,7 @@ func OpenDurable(dir string, opt Options) (*Durable, error) {
 		unlockDir(lock)
 		return nil, err
 	}
-	snapSeq, mem, err := readSnapshot(filepath.Join(dir, snapFileName))
+	snapSeq, mem, err := readSnapshot(filepath.Join(dir, snapFileName), opt.SnapshotReadAll)
 	if err != nil {
 		return fail(fmt.Errorf("store: loading snapshot: %w", err))
 	}
@@ -168,7 +206,11 @@ func OpenDurable(dir string, opt Options) (*Durable, error) {
 	if err != nil {
 		return fail(fmt.Errorf("store: opening WAL: %w", err))
 	}
-	return &Durable{mem: mem, dir: dir, opt: opt, met: newDurableMetrics(opt.Obs), wal: w, lock: lock, seq: maxSeq, walBase: snapSeq}, nil
+	d := &Durable{mem: mem, dir: dir, opt: opt, met: newDurableMetrics(opt.Obs), wal: w, lock: lock, seq: maxSeq, walBase: snapSeq}
+	if opt.GroupCommitWindow > 0 {
+		d.committer = newGroupCommitter(w, opt.GroupCommitWindow, opt.FsyncEach, d.met, d.poison)
+	}
+	return d, nil
 }
 
 // loadOrCreateEpoch reads the directory's persisted version epoch, or
@@ -212,57 +254,127 @@ func loadOrCreateEpoch(path string) (uint64, error) {
 	return epoch, syncDir(filepath.Dir(path))
 }
 
-// logLocked assigns the next sequence and appends the record. Callers
-// hold d.mu.
+// appendLocked logs one payload that consumes ops sequence numbers
+// (1 for a plain record, the batch size for opInsertBatch; the caller
+// encoded firstSeq = d.seq+1 into it). Callers hold d.mu.
 //
-// A failed append or sync leaves the on-disk log in an ambiguous
-// state: the record may be partially written (a later append would
-// turn that torn tail into mid-file corruption) or fully framed yet
-// reported failed (a reused sequence number would make recovery
-// double-apply). So any write failure poisons the log — mutations are
-// refused until a snapshot succeeds, which captures the live state,
-// truncates the log in place, and clears the poison.
-func (d *Durable) logLocked(rec walRecord) error {
-	if d.walErr != nil {
-		return fmt.Errorf("store: WAL poisoned by earlier failure (snapshot to recover): %w", d.walErr)
+// With group commit the framed record is handed to the committer and
+// a wait function returned: it blocks until the record's coalesced
+// write — and, under FsyncEach, its fsync — completed, and reports
+// the commit's outcome. Callers invoke it after releasing d.mu and
+// every list lock, so readers never stall behind an fsync. Without a
+// committer the record is written synchronously and wait is nil.
+//
+// A failed write leaves the on-disk log in an ambiguous state: the
+// record may be partially written (a later append would turn that
+// torn tail into mid-file corruption) or fully framed yet reported
+// failed (a reused sequence number would make recovery double-apply).
+// So any write failure poisons the log — mutations are refused until
+// a snapshot succeeds, which captures the live state, truncates the
+// log in place, and clears the poison. Under group commit the failure
+// can additionally surface after the op was applied to memory; the
+// healing snapshot persists that live state, so memory and disk
+// re-converge rather than diverge further.
+func (d *Durable) appendLocked(payload []byte, ops int) (wait func() error, err error) {
+	if werr := d.poisoned(); werr != nil {
+		return nil, fmt.Errorf("store: WAL poisoned by earlier failure (snapshot to recover): %w", werr)
 	}
-	rec.seq = d.seq + 1
+	if d.committer != nil {
+		b, opened := d.committer.enqueue(payload)
+		d.met.walRecords.Inc()
+		d.seq += uint64(ops)
+		d.opsSinceSnap += ops
+		return func() error { return d.committer.waitFor(b, opened) }, nil
+	}
 	var start time.Time
 	if d.met.walAppend != nil {
 		start = time.Now()
 	}
-	if err := d.wal.append(rec); err != nil {
-		d.poisonLocked(err)
-		return fmt.Errorf("store: appending WAL record: %w", err)
+	if err := d.wal.write(frameRecord(payload)); err != nil {
+		d.poison(err)
+		return nil, fmt.Errorf("store: appending WAL record: %w", err)
 	}
 	if d.met.walAppend != nil {
 		d.met.walAppend.Observe(time.Since(start).Seconds())
 	}
 	d.met.walRecords.Inc()
-	// The record is framed in the OS; the sequence is consumed whether
-	// or not the sync below succeeds.
-	d.seq = rec.seq
-	d.opsSinceSnap++
+	// The record is framed in the OS; the sequences are consumed
+	// whether or not the sync below succeeds.
+	d.seq += uint64(ops)
+	d.opsSinceSnap += ops
 	if d.opt.FsyncEach {
 		if d.met.walFsync != nil {
 			start = time.Now()
 		}
 		if err := d.wal.sync(); err != nil {
-			d.poisonLocked(err)
-			return fmt.Errorf("store: syncing WAL: %w", err)
+			d.poison(err)
+			return nil, fmt.Errorf("store: syncing WAL: %w", err)
 		}
 		if d.met.walFsync != nil {
 			d.met.walFsync.Observe(time.Since(start).Seconds())
 		}
 	}
-	return nil
+	return nil, nil
 }
 
-func (d *Durable) poisonLocked(err error) {
-	d.walErr = err
+// walPayloadPool recycles the per-operation payload encode buffers of
+// Insert and Remove. appendLocked copies the payload (into the commit
+// batch, or through frameRecord into the buffered writer) before it
+// returns, so the buffer is dead by then and a logged single-record
+// mutation allocates nothing for its encoding.
+var walPayloadPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 512)
+	return &b
+}}
+
+// recycleWALPayload returns a pooled encode buffer, keeping grown
+// capacity up to a bound so one giant sealed blob doesn't pin memory.
+func recycleWALPayload(pp *[]byte, payload []byte) {
+	if cap(payload) <= 1<<16 {
+		*pp = payload[:0]
+	}
+	walPayloadPool.Put(pp)
+}
+
+// poison records a log-write failure. Safe from any goroutine (the
+// committer calls it without d.mu); only the first failure is kept.
+func (d *Durable) poison(err error) {
+	d.poisonMu.Lock()
+	first := d.walErr == nil
+	if first {
+		d.walErr = err
+		d.hasPoison.Store(true)
+	}
+	d.poisonMu.Unlock()
+	if !first {
+		return
+	}
 	d.met.poisoned.Set(1)
 	if d.opt.Logf != nil {
 		d.opt.Logf("store: WAL write failed, refusing further mutations until a snapshot succeeds: %v", err)
+	}
+}
+
+// poisoned reports the sticky log-write failure, if any.
+func (d *Durable) poisoned() error {
+	if !d.hasPoison.Load() {
+		return nil
+	}
+	d.poisonMu.Lock()
+	defer d.poisonMu.Unlock()
+	return d.walErr
+}
+
+// clearPoison forgets the failure after a successful snapshot or
+// import made the log whole again.
+func (d *Durable) clearPoison() {
+	d.poisonMu.Lock()
+	d.walErr = nil
+	d.hasPoison.Store(false)
+	d.poisonMu.Unlock()
+	d.met.poisoned.Set(0)
+	if d.committer != nil {
+		d.committer.reset()
 	}
 }
 
@@ -295,20 +407,81 @@ func (d *Durable) LastSnapshotError() error {
 func (d *Durable) Name() string { return "durable" }
 
 // Insert implements Backend: validate nothing (inserts always apply),
-// log, then mutate memory.
+// log, then mutate memory — still under d.mu, so memory-apply order
+// equals log order and recovery replays the identical history. Under
+// group commit the caller then waits out its record's commit after
+// d.mu (and every list lock) is released.
 func (d *Durable) Insert(list zerber.ListID, el Element) error {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if d.closed.Load() {
+		d.mu.Unlock()
 		return ErrClosed
 	}
-	if err := d.logLocked(walRecord{op: opInsert, list: list, group: el.Group, trs: el.TRS, sealed: el.Sealed}); err != nil {
+	pp := walPayloadPool.Get().(*[]byte)
+	payload := appendWALPayload((*pp)[:0], walRecord{seq: d.seq + 1, op: opInsert, list: list, group: el.Group, trs: el.TRS, sealed: el.Sealed})
+	wait, err := d.appendLocked(payload, 1)
+	recycleWALPayload(pp, payload)
+	if err != nil {
+		d.mu.Unlock()
 		return err
 	}
-	if err := d.mem.Insert(list, el); err != nil {
-		return err
+	d.mem.insert(list, el)
+	d.maybeSnapshotLocked()
+	d.mu.Unlock()
+	if wait != nil {
+		return wait()
+	}
+	return nil
+}
+
+// InsertBatch implements Backend: the whole batch is logged as one
+// opInsertBatch record (chunked only if its encoding would breach the
+// record size bound) and applied to memory element by element, each
+// bumping its list's version exactly as N single Inserts would. One
+// record means one length prefix, one CRC, one commit-queue entry and
+// — under FsyncEach — one fsync for the entire batch.
+func (d *Durable) InsertBatch(ops []BatchInsert) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	d.mu.Lock()
+	if d.closed.Load() {
+		d.mu.Unlock()
+		return ErrClosed
+	}
+	var waits []func() error
+	for len(ops) > 0 {
+		n, size := 0, 0
+		for n < len(ops) {
+			opSize := 3*16 + 8 + len(ops[n].Element.Sealed) // conservative encoded bound
+			if n > 0 && size+opSize > maxBatchRecordBytes {
+				break
+			}
+			size += opSize
+			n++
+		}
+		chunk := ops[:n]
+		ops = ops[n:]
+		payload := encodeWALBatchPayload(d.seq+1, chunk)
+		wait, err := d.appendLocked(payload, len(chunk))
+		if err != nil {
+			d.mu.Unlock()
+			return err
+		}
+		if wait != nil {
+			waits = append(waits, wait)
+		}
+		for i := range chunk {
+			d.mem.insert(chunk[i].List, chunk[i].Element)
+		}
 	}
 	d.maybeSnapshotLocked()
+	d.mu.Unlock()
+	for _, wait := range waits {
+		if err := wait(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -322,25 +495,40 @@ func (d *Durable) Insert(list zerber.ListID, el Element) error {
 // may have observed), and no reader can ever see a removal the log
 // does not hold.
 //
-// The price is that readers of the same list wait out the append —
-// a buffered write normally, a real fsync under FsyncEach. That is
+// At window=0 readers of the same list wait out the append — a
+// buffered write normally, a real fsync under FsyncEach. That is
 // deliberate: moving the fsync after the lock would let a reader
-// observe a version whose record the OS may still lose, which is the
-// exact unlogged-bump hazard this ordering exists to close. Writers
-// already serialize on d.mu, so only the removed list's readers pay.
+// observe a version whose record the OS may still lose. With group
+// commit only the enqueue happens under the locks; the commit wait
+// runs after both d.mu and the list lock are released, so an fsync in
+// flight never stalls a reader — the reader-visible durability there
+// matches FsyncEach=false (a record a reader observed may still be in
+// the commit queue when the OS dies), which is the documented trade
+// of turning the window on.
 func (d *Durable) Remove(list zerber.ListID, sealed []byte, allow func(group int) bool) error {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if d.closed.Load() {
+		d.mu.Unlock()
 		return ErrClosed
 	}
+	var wait func() error
 	_, err := d.mem.remove(list, sealed, allow, func(Element) error {
-		return d.logLocked(walRecord{op: opRemove, list: list, sealed: sealed})
+		pp := walPayloadPool.Get().(*[]byte)
+		payload := appendWALPayload((*pp)[:0], walRecord{seq: d.seq + 1, op: opRemove, list: list, sealed: sealed})
+		var aerr error
+		wait, aerr = d.appendLocked(payload, 1)
+		recycleWALPayload(pp, payload)
+		return aerr
 	})
 	if err != nil {
+		d.mu.Unlock()
 		return err
 	}
 	d.maybeSnapshotLocked()
+	d.mu.Unlock()
+	if wait != nil {
+		return wait()
+	}
 	return nil
 }
 
@@ -368,11 +556,18 @@ func (d *Durable) snapshotLocked() (err error) {
 			}
 		}()
 	}
+	// Outstanding group-commit batches must settle before the snapshot
+	// claims seq; drain is safe here because the committer never takes
+	// d.mu. A failed drain has already poisoned the log, and the
+	// snapshot itself is then the recovery path.
+	if d.committer != nil {
+		_ = d.committer.drain()
+	}
 	// With a healthy log, put it on disk before the snapshot claims
 	// its sequence. With a poisoned log the snapshot itself is the
 	// recovery path — it is fsynced and holds everything up to seq —
 	// so a failing sync must not block it.
-	if err := d.wal.sync(); err != nil && d.walErr == nil {
+	if err := d.wal.sync(); err != nil && d.poisoned() == nil {
 		return fmt.Errorf("store: syncing WAL before snapshot: %w", err)
 	}
 	if err := writeSnapshot(filepath.Join(d.dir, snapFileName), d.seq, d.mem); err != nil {
@@ -388,8 +583,7 @@ func (d *Durable) snapshotLocked() (err error) {
 	}
 	// The snapshot captured the live state and the log restarted
 	// empty, so any earlier ambiguous write is moot.
-	d.walErr = nil
-	d.met.poisoned.Set(0)
+	d.clearPoison()
 	d.opsSinceSnap = 0
 	d.walBase = d.seq
 	return nil
@@ -477,7 +671,14 @@ func (d *Durable) Close() error {
 	if d.closed.Swap(true) {
 		return nil
 	}
-	err := d.wal.close()
+	var err error
+	if d.committer != nil {
+		err = d.committer.drain()
+		d.committer.stop()
+	}
+	if cerr := d.wal.close(); err == nil {
+		err = cerr
+	}
 	if uerr := unlockDir(d.lock); err == nil {
 		err = uerr
 	}

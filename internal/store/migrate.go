@@ -113,6 +113,11 @@ func (d *Durable) ImportSnapshot(data []byte) error {
 	if err != nil {
 		return err
 	}
+	// Settle in-flight group commits before truncating the log they
+	// are writing to (no new ones can form — we hold d.mu).
+	if d.committer != nil {
+		_ = d.committer.drain()
+	}
 	// Keep this directory's epoch for lists minted after the import;
 	// imported lists carry the source's persisted versions.
 	mem.verBase = d.mem.verBase
@@ -125,17 +130,17 @@ func (d *Durable) ImportSnapshot(data []byte) error {
 	d.mem.adopt(mem)
 	// The snapshot captured the imported state and the log restarted
 	// empty: any earlier ambiguous write is moot, same as snapshotLocked.
-	d.walErr = nil
-	d.met.poisoned.Set(0)
+	d.clearPoison()
 	d.opsSinceSnap = 0
 	d.walBase = d.seq
 	return nil
 }
 
 // TailSince implements Backend for Durable: the decoded WAL records
-// with sequence > after, in log order. Appends flush each record to
-// the file before returning, so the scan under d.mu observes every
-// logged operation.
+// with sequence > after, in log order. Synchronous appends flush each
+// record to the file before returning; with group commit the drain
+// below is the barrier that flushes the queue — either way the scan
+// under d.mu observes every logged operation.
 func (d *Durable) TailSince(after uint64) ([]TailOp, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -147,6 +152,11 @@ func (d *Durable) TailSince(after uint64) ([]TailOp, error) {
 	}
 	if after < d.walBase {
 		return nil, fmt.Errorf("%w: log restarts at seq %d, tail requested after %d", ErrTailTruncated, d.walBase, after)
+	}
+	if d.committer != nil {
+		if err := d.committer.drain(); err != nil {
+			return nil, fmt.Errorf("store: flushing commit queue for tail export: %w", err)
+		}
 	}
 	var ops []TailOp
 	err := readWALTail(filepath.Join(d.dir, walFileName), after, func(rec walRecord) {
@@ -203,12 +213,14 @@ func readWALTail(path string, afterSeq uint64, apply func(walRecord)) error {
 		if crc32.ChecksumIEEE(payload) != sum {
 			return fmt.Errorf("%w: checksum mismatch on a live log", ErrBadWAL)
 		}
-		rec, err := decodeWALPayload(payload)
+		recs, err := decodeWALRecords(payload)
 		if err != nil {
 			return fmt.Errorf("%w: undecodable record: %v", ErrBadWAL, err)
 		}
-		if rec.seq > afterSeq {
-			apply(rec)
+		for _, rec := range recs {
+			if rec.seq > afterSeq {
+				apply(rec)
+			}
 		}
 	}
 }

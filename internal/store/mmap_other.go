@@ -1,0 +1,11 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// mapFile is the portable fallback behind the same interface as the
+// unix mmap path: read the whole snapshot into memory up front.
+func mapFile(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}

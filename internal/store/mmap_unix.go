@@ -1,0 +1,45 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only into memory. Recovery decodes the
+// snapshot straight out of the page cache: framing validation walks
+// the mapping once sequentially, and each lazily loaded list's sealed
+// bytes fault in only when a query first touches it.
+//
+// The mapping is intentionally never unmapped. Sealed payloads served
+// to queries alias it (QueryResult documents that aliasing), so its
+// lifetime is the process's; a later snapshot rewrite renames a fresh
+// file into place, leaving at most one superseded mapping resident
+// per open, bounded by the old snapshot's size — the same residency a
+// ReadFile-based recovery would hold as heap.
+func mapFile(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size == 0 {
+		return nil, nil
+	}
+	if int64(int(size)) != size {
+		return nil, fmt.Errorf("store: snapshot too large to map: %d bytes", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		// Filesystems without mmap support fall back to a plain read.
+		return os.ReadFile(path)
+	}
+	return data, nil
+}

@@ -165,8 +165,22 @@ func encodeSnapshot(f io.Writer, seq uint64, m *Memory) error {
 
 // readSnapshot loads the snapshot at path into a fresh Memory. A
 // missing file yields an empty store at sequence zero — a first boot.
-func readSnapshot(path string) (seq uint64, m *Memory, _ error) {
-	data, err := os.ReadFile(path)
+//
+// The default path mmaps the file, so the decode below validates
+// framing against page-cache-backed memory and the per-list element
+// bytes are faulted in only when a list is first touched. readAll
+// forces a plain up-front read instead (benchmark baselines, callers
+// that want no mapping).
+func readSnapshot(path string, readAll bool) (seq uint64, m *Memory, _ error) {
+	var (
+		data []byte
+		err  error
+	)
+	if readAll {
+		data, err = os.ReadFile(path)
+	} else {
+		data, err = mapFile(path)
+	}
 	if errors.Is(err, os.ErrNotExist) {
 		return 0, NewMemory(), nil
 	}
@@ -177,7 +191,11 @@ func readSnapshot(path string) (seq uint64, m *Memory, _ error) {
 }
 
 // decodeSnapshot parses a ZSNAP2 (or legacy ZSNAP1) dump into a fresh
-// Memory — the shared core of crash recovery and snapshot import.
+// Memory — the shared core of crash recovery and snapshot import. It
+// validates the whole dump (CRC, then per-element framing) but builds
+// no list: each list is registered lazily with its validated byte
+// region, and decoding happens on first touch. Recovery cost at open
+// is therefore one sequential scan, with zero per-element allocation.
 func decodeSnapshot(data []byte) (seq uint64, m *Memory, _ error) {
 	m = NewMemory()
 	if len(data) < len(snapMagic)+4 {
@@ -223,28 +241,23 @@ func decodeSnapshot(data []byte) (seq uint64, m *Memory, _ error) {
 		if n > uint64(rd.remaining()) {
 			return 0, nil, fmt.Errorf("%w: list %d claims %d elements with %d bytes left", ErrBadSnapshot, i, n, rd.remaining())
 		}
-		elems := make([]Element, n)
-		for j := range elems {
-			group, err := binary.ReadVarint(rd)
-			if err != nil {
+		// Walk the list's elements validating only framing — no Element
+		// is built, no byte copied. The validated region is what the
+		// lazy list decodes on first touch.
+		start := rd.off
+		for j := uint64(0); j < n; j++ {
+			if _, err := binary.ReadVarint(rd); err != nil {
 				return 0, nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 			}
-			f8, err := rd.take(8)
-			if err != nil {
+			if _, err := rd.take(8); err != nil {
 				return 0, nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 			}
 			sl, err := binary.ReadUvarint(rd)
 			if err != nil {
 				return 0, nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 			}
-			sealed, err := rd.take(int(sl))
-			if err != nil {
+			if _, err := rd.take(int(sl)); err != nil {
 				return 0, nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
-			}
-			elems[j] = Element{
-				Sealed: append([]byte(nil), sealed...),
-				TRS:    math.Float64frombits(binary.BigEndian.Uint64(f8)),
-				Group:  int(group),
 			}
 		}
 		if !hasVersions {
@@ -252,14 +265,39 @@ func decodeSnapshot(data []byte) (seq uint64, m *Memory, _ error) {
 			// the lowest value a live list of this size can have had
 			// (every element cost at least one insert), so it is the
 			// safest monotone seed available.
-			version = uint64(len(elems))
+			version = n
 		}
-		m.load(zerber.ListID(id), elems, true, version)
+		m.loadLazy(zerber.ListID(id), body[start:rd.off], int(n), version)
 	}
 	if rd.remaining() != 0 {
 		return 0, nil, fmt.Errorf("%w: %d trailing bytes", ErrBadSnapshot, rd.remaining())
 	}
 	return seq, m, nil
+}
+
+// decodeListElements decodes one list's element region that
+// decodeSnapshot already validated. Sealed slices alias raw — for an
+// mmap-backed snapshot that is the zero-copy making recovery pay only
+// for the lists queries touch; the store never rewrites sealed bytes,
+// so the aliases stay valid for the store's lifetime (the same
+// contract QueryResult documents). The region was framing-checked at
+// load, so decode errors are impossible; an invariant violation here
+// would surface as an index panic, deliberately loud.
+func decodeListElements(raw []byte, n int) []Element {
+	rd := newByteCursor(raw)
+	elems := make([]Element, n)
+	for j := range elems {
+		group, _ := binary.ReadVarint(rd)
+		f8, _ := rd.take(8)
+		sl, _ := binary.ReadUvarint(rd)
+		sealed, _ := rd.take(int(sl))
+		elems[j] = Element{
+			Sealed: sealed,
+			TRS:    math.Float64frombits(binary.BigEndian.Uint64(f8)),
+			Group:  int(group),
+		}
+	}
+	return elems
 }
 
 // syncDir fsyncs a directory so a rename within it is durable.

@@ -89,6 +89,12 @@ type QueryResult struct {
 	Version uint64
 }
 
+// BatchInsert is one element of an InsertBatch call.
+type BatchInsert struct {
+	List    zerber.ListID
+	Element Element
+}
+
 // Backend is the storage engine beneath server.Server. All
 // implementations are safe for concurrent use; access control and
 // authentication stay in the server layer above.
@@ -99,6 +105,14 @@ type Backend interface {
 	// Insert stores an element into the given merged list, creating
 	// the list if needed.
 	Insert(list zerber.ListID, el Element) error
+	// InsertBatch stores many elements as one operation. Logged
+	// engines append a single batched WAL record for the whole batch
+	// (splitting only when the encoding would breach the record size
+	// bound), so a bulk load costs one framing, one commit-queue entry
+	// and one fsync instead of N. Observable semantics are exactly N
+	// Inserts in slice order: one version bump per element, identical
+	// recovery. An empty batch is a no-op.
+	InsertBatch(ops []BatchInsert) error
 	// Remove deletes the element whose sealed payload matches exactly.
 	// Before deleting it calls allow with the element's group; a false
 	// return aborts with ErrDenied (the ACL check must observe the
@@ -171,6 +185,16 @@ type Backend interface {
 type Memory struct {
 	mu    sync.RWMutex
 	lists map[zerber.ListID]*mergedList
+	// lazy holds snapshot-loaded lists not yet touched: the list's raw
+	// element region of the snapshot body (possibly an mmap alias)
+	// plus enough metadata — count, version — to answer the stats
+	// surface without decoding anything. The first real access
+	// materializes the list into lists; a list is in exactly one of
+	// the two maps. This is what makes recovery latency independent of
+	// how many lists the snapshot holds: OpenDurable folds in only the
+	// lists the WAL tail touches, and a restarted shard answers its
+	// first query after decoding one list, not all of them.
+	lazy map[zerber.ListID]*lazyList
 	// verBase seeds every freshly created list's version counter: a
 	// random per-instance epoch in the high 32 bits. A restarted
 	// RAM-only server (or a list recovered only from the WAL tail)
@@ -260,10 +284,23 @@ func (g *groupList) compact() {
 	g.pending = nil
 }
 
+// lazyList is a snapshot-loaded list awaiting first use: raw is its
+// validated element region of the snapshot body, count and version
+// the metadata the stats surface answers from. The Once makes
+// same-list racers share a single decode.
+type lazyList struct {
+	once    sync.Once
+	ml      *mergedList
+	raw     []byte
+	count   int
+	version uint64
+}
+
 // NewMemory creates an empty in-memory backend.
 func NewMemory() *Memory {
 	return &Memory{
 		lists:   make(map[zerber.ListID]*mergedList),
+		lazy:    make(map[zerber.ListID]*lazyList),
 		verBase: uint64(rand.Uint32()) << 32,
 	}
 }
@@ -271,26 +308,79 @@ func NewMemory() *Memory {
 // Name implements Backend.
 func (m *Memory) Name() string { return "memory" }
 
-// list returns the merged list, creating it when create is set.
+// list returns the merged list, materializing a lazily loaded one on
+// this first touch, creating a fresh one when create is set.
 func (m *Memory) list(id zerber.ListID, create bool) *mergedList {
 	m.mu.RLock()
 	ml := m.lists[id]
+	lz := m.lazy[id]
 	m.mu.RUnlock()
-	if ml != nil || !create {
+	if ml != nil {
 		return ml
 	}
+	if lz != nil {
+		return m.materialize(id, lz)
+	}
+	if !create {
+		return nil
+	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	if ml = m.lists[id]; ml == nil {
+	ml = m.lists[id]
+	lz = m.lazy[id]
+	if ml == nil && lz == nil {
 		ml = &mergedList{groups: make(map[int]*groupList), version: m.verBase}
 		m.lists[id] = ml
 	}
-	return ml
+	m.mu.Unlock()
+	if ml != nil {
+		return ml
+	}
+	return m.materialize(id, lz)
+}
+
+// materialize decodes a lazily loaded list and publishes it. The
+// decode runs outside m.mu — first touches of different lists decode
+// in parallel, and a long fold-in never blocks lookups of other
+// lists.
+func (m *Memory) materialize(id zerber.ListID, lz *lazyList) *mergedList {
+	lz.once.Do(func() {
+		lz.ml = newMergedListFrom(decodeListElements(lz.raw, lz.count), true, lz.version)
+		m.mu.Lock()
+		// Publish only if this lazy entry still owns the slot: an
+		// ImportSnapshot may have swapped the maps mid-decode, and the
+		// pre-import list must not resurrect over imported state (the
+		// toucher still gets the pre-import view it started on, same
+		// as a reader holding a list pointer across an import).
+		if m.lazy[id] == lz {
+			m.lists[id] = lz.ml
+			delete(m.lazy, id)
+		}
+		m.mu.Unlock()
+		lz.raw = nil
+	})
+	return lz.ml
+}
+
+// loadLazy registers a snapshot list region for deferred decoding
+// (snapshot recovery and import).
+func (m *Memory) loadLazy(id zerber.ListID, raw []byte, count int, version uint64) {
+	m.mu.Lock()
+	m.lazy[id] = &lazyList{raw: raw, count: count, version: version}
+	m.mu.Unlock()
 }
 
 // Insert implements Backend. It never fails.
 func (m *Memory) Insert(list zerber.ListID, el Element) error {
 	m.insert(list, el)
+	return nil
+}
+
+// InsertBatch implements Backend. Memory keeps no log, so the batch
+// is simply its inserts in order.
+func (m *Memory) InsertBatch(ops []BatchInsert) error {
+	for i := range ops {
+		m.insert(ops[i].List, ops[i].Element)
+	}
 	return nil
 }
 
@@ -429,11 +519,19 @@ func (m *Memory) Query(list zerber.ListID, allowed map[int]bool, offset, count i
 	return res, nil
 }
 
-// Version implements Backend.
+// Version implements Backend. A lazily loaded list answers from its
+// snapshot metadata without materializing: version probes (cache
+// revalidation, stats) must stay cheap on a freshly restarted shard.
 func (m *Memory) Version(list zerber.ListID) (uint64, error) {
-	ml := m.list(list, false)
+	m.mu.RLock()
+	ml := m.lists[list]
+	lz := m.lazy[list]
+	m.mu.RUnlock()
 	if ml == nil {
-		return 0, ErrUnknownList
+		if lz == nil {
+			return 0, ErrUnknownList
+		}
+		return lz.version, nil
 	}
 	ml.mu.RLock()
 	defer ml.mu.RUnlock()
@@ -574,11 +672,18 @@ func (m *Memory) viewVersioned(list zerber.ListID, fn func(version uint64, elems
 	return nil
 }
 
-// Len implements Backend.
+// Len implements Backend. Lazily loaded lists answer from snapshot
+// metadata without materializing.
 func (m *Memory) Len(list zerber.ListID) (int, error) {
-	ml := m.list(list, false)
+	m.mu.RLock()
+	ml := m.lists[list]
+	lz := m.lazy[list]
+	m.mu.RUnlock()
 	if ml == nil {
-		return 0, nil
+		if lz == nil {
+			return 0, nil
+		}
+		return lz.count, nil
 	}
 	ml.mu.RLock()
 	defer ml.mu.RUnlock()
@@ -588,8 +693,11 @@ func (m *Memory) Len(list zerber.ListID) (int, error) {
 // Lists implements Backend.
 func (m *Memory) Lists() ([]zerber.ListID, error) {
 	m.mu.RLock()
-	out := make([]zerber.ListID, 0, len(m.lists))
+	out := make([]zerber.ListID, 0, len(m.lists)+len(m.lazy))
 	for id := range m.lists {
+		out = append(out, id)
+	}
+	for id := range m.lazy {
 		out = append(out, id)
 	}
 	m.mu.RUnlock()
@@ -601,7 +709,7 @@ func (m *Memory) Lists() ([]zerber.ListID, error) {
 func (m *Memory) NumLists() (int, error) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	return len(m.lists), nil
+	return len(m.lists) + len(m.lazy), nil
 }
 
 // NumElements implements Backend.
@@ -613,6 +721,9 @@ func (m *Memory) NumElements() (int, error) {
 		ml.mu.RLock()
 		n += ml.total
 		ml.mu.RUnlock()
+	}
+	for _, lz := range m.lazy {
+		n += lz.count
 	}
 	return n, nil
 }
@@ -630,6 +741,16 @@ func (m *Memory) Close() error { return nil }
 // counter could re-reach an old version with different content,
 // validating stale cached windows).
 func (m *Memory) load(list zerber.ListID, elems []Element, sorted bool, version uint64) {
+	ml := newMergedListFrom(elems, sorted, version)
+	m.mu.Lock()
+	m.lists[list] = ml
+	delete(m.lazy, list)
+	m.mu.Unlock()
+}
+
+// newMergedListFrom builds a merged list from a slice of elements —
+// the shared core of load and lazy materialization.
+func newMergedListFrom(elems []Element, sorted bool, version uint64) *mergedList {
 	ml := &mergedList{groups: make(map[int]*groupList), version: version}
 	for _, el := range elems {
 		g := ml.groups[el.Group]
@@ -648,18 +769,17 @@ func (m *Memory) load(list zerber.ListID, elems []Element, sorted bool, version 
 		ml.nextSeq++
 		ml.total++
 	}
-	m.mu.Lock()
-	m.lists[list] = ml
-	m.mu.Unlock()
+	return ml
 }
 
-// adopt swaps in another Memory's list map wholesale (snapshot
+// adopt swaps in another Memory's list maps wholesale (snapshot
 // import). Readers that already hold a merged-list pointer finish on
 // the pre-import state; verBase stays this instance's own, so lists
 // minted after the import cannot collide with pre-import versions.
 func (m *Memory) adopt(src *Memory) {
 	m.mu.Lock()
 	m.lists = src.lists
+	m.lazy = src.lazy
 	m.mu.Unlock()
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"reflect"
 	"testing"
+	"time"
 
 	"zerberr/internal/zerber"
 )
@@ -18,7 +19,16 @@ func backends(t *testing.T) map[string]Backend {
 		t.Fatalf("OpenDurable: %v", err)
 	}
 	t.Cleanup(func() { d.Close() })
-	return map[string]Backend{"memory": NewMemory(), "durable": d}
+	// The grouped instance routes every append through the commit
+	// queue (FsyncEach makes the committer actually wait out the
+	// window), so the whole contract suite doubles as a group-commit
+	// correctness suite.
+	g, err := OpenDurable(t.TempDir(), Options{FsyncEach: true, GroupCommitWindow: 50 * time.Microsecond})
+	if err != nil {
+		t.Fatalf("OpenDurable (grouped): %v", err)
+	}
+	t.Cleanup(func() { g.Close() })
+	return map[string]Backend{"memory": NewMemory(), "durable": d, "durable-grouped": g}
 }
 
 func el(payload string, trs float64, group int) Element {

@@ -274,7 +274,7 @@ func TestVersionLegacySnapshot(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	seq, m, err := readSnapshot(path)
+	seq, m, err := readSnapshot(path, false)
 	if err != nil {
 		t.Fatal(err)
 	}

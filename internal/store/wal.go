@@ -24,22 +24,42 @@ import (
 //	         op=insert: list | group (signed varint) | trs (8B) |
 //	                    sealedLen | sealed
 //	         op=remove: list | sealedLen | sealed
+//	         op=insertBatch: count | count × (
+//	             listDelta (signed varint, vs the previous entry's
+//	             list; the first entry's delta is vs list 0) |
+//	             group (signed varint) | trs (8B) |
+//	             sealedLen | sealed )
 //
 // The sequence number ties the log to snapshots: a snapshot records
 // the last sequence it contains, and recovery skips WAL records at or
 // below it, so a crash between snapshot rename and log truncation
 // cannot double-apply operations. The trailing CRC frames each record
 // so recovery can detect a torn final write and truncate it away.
+//
+// An insertBatch record is N inserts under one frame: seq is the
+// first element's sequence and the record consumes seq..seq+count-1,
+// so a batch costs one length prefix, one CRC and (under group
+// commit) one fsync instead of N. List IDs are delta-encoded against
+// the previous entry — the ZIDX1 idiom — because batches are usually
+// sorted or single-list. Torn-tail recovery is per frame: a torn
+// batch drops whole, never half-applied.
 
 var walMagic = []byte("ZWAL1")
 
 const (
-	opInsert byte = 1
-	opRemove byte = 2
+	opInsert      byte = 1
+	opRemove      byte = 2
+	opInsertBatch byte = 3
 
 	// maxWALRecord bounds a single record's payload so a corrupted
 	// length prefix cannot trigger a huge allocation during recovery.
 	maxWALRecord = 1 << 28
+
+	// maxBatchRecordBytes is where InsertBatch splits a batch into
+	// multiple records: comfortably under maxWALRecord so a batch can
+	// never encode into an unreplayable frame, large enough that any
+	// realistic API batch (MaxBatchOps elements) stays one record.
+	maxBatchRecordBytes = 1 << 24
 )
 
 // ErrBadWAL reports a corrupted write-ahead log (damage before the
@@ -56,25 +76,32 @@ type walRecord struct {
 	sealed []byte
 }
 
-// appendRecord frames and writes one record to w.
-func appendRecord(w *bufio.Writer, rec walRecord) error {
-	payload := encodeWALPayload(rec)
-	var vbuf [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(vbuf[:], uint64(len(payload)))
-	if _, err := w.Write(vbuf[:n]); err != nil {
-		return err
-	}
-	if _, err := w.Write(payload); err != nil {
-		return err
-	}
-	var crc [4]byte
-	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
-	_, err := w.Write(crc[:])
-	return err
+// appendFrame appends a payload in the on-disk framing — length
+// prefix, payload, trailing CRC — to dst. Framing in place is what
+// lets the group committer build a coalesced batch buffer without a
+// per-record allocation.
+func appendFrame(dst, payload []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	dst = append(dst, payload...)
+	return binary.BigEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+}
+
+// frameRecord wraps a payload in the on-disk framing, returning bytes
+// ready for one contiguous write.
+func frameRecord(payload []byte) []byte {
+	return appendFrame(make([]byte, 0, binary.MaxVarintLen64+len(payload)+4), payload)
 }
 
 func encodeWALPayload(rec walRecord) []byte {
-	buf := make([]byte, 0, 2*binary.MaxVarintLen64+len(rec.sealed)+16)
+	return appendWALPayload(make([]byte, 0, 2*binary.MaxVarintLen64+len(rec.sealed)+16), rec)
+}
+
+// appendWALPayload encodes rec onto buf. The hot per-operation paths
+// pass a pooled buffer: the payload is copied into the commit batch
+// (or the WAL's buffered writer) before append returns, so the bytes
+// never outlive the call and single-record inserts stay allocation
+// free.
+func appendWALPayload(buf []byte, rec walRecord) []byte {
 	buf = binary.AppendUvarint(buf, rec.seq)
 	buf = append(buf, rec.op)
 	buf = binary.AppendUvarint(buf, uint64(rec.list))
@@ -87,53 +114,136 @@ func encodeWALPayload(rec walRecord) []byte {
 	return buf
 }
 
-func decodeWALPayload(payload []byte) (walRecord, error) {
-	var rec walRecord
+// encodeWALBatchPayload encodes N inserts as one opInsertBatch
+// payload. firstSeq is the first element's sequence; the record
+// consumes firstSeq..firstSeq+len(ops)-1. Callers bound the batch so
+// the payload stays under maxWALRecord.
+func encodeWALBatchPayload(firstSeq uint64, ops []BatchInsert) []byte {
+	size := 2*binary.MaxVarintLen64 + 1
+	for i := range ops {
+		size += 3*binary.MaxVarintLen64 + 8 + len(ops[i].Element.Sealed)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.AppendUvarint(buf, firstSeq)
+	buf = append(buf, opInsertBatch)
+	buf = binary.AppendUvarint(buf, uint64(len(ops)))
+	prev := int64(0)
+	for i := range ops {
+		el := ops[i].Element
+		list := int64(ops[i].List)
+		buf = binary.AppendVarint(buf, list-prev)
+		prev = list
+		buf = binary.AppendVarint(buf, int64(el.Group))
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(el.TRS))
+		buf = binary.AppendUvarint(buf, uint64(len(el.Sealed)))
+		buf = append(buf, el.Sealed...)
+	}
+	return buf
+}
+
+// decodeWALRecords decodes one framed payload into its operations: a
+// single walRecord for insert/remove, count records (with consecutive
+// sequences) for a batch. Decoding is all-or-nothing — a payload that
+// fails mid-batch applies none of it, so replay's torn-tail tolerance
+// stays frame-granular. Sealed bytes are copied out of the payload
+// buffer.
+func decodeWALRecords(payload []byte) ([]walRecord, error) {
 	rd := newByteCursor(payload)
 	seq, err := binary.ReadUvarint(rd)
 	if err != nil {
-		return rec, err
+		return nil, err
 	}
-	rec.seq = seq
 	op, err := rd.ReadByte()
 	if err != nil {
-		return rec, err
+		return nil, err
 	}
-	rec.op = op
-	list, err := binary.ReadUvarint(rd)
-	if err != nil {
-		return rec, err
-	}
-	rec.list = zerber.ListID(list)
 	switch op {
-	case opInsert:
-		group, err := binary.ReadVarint(rd)
+	case opInsert, opRemove:
+		rec := walRecord{seq: seq, op: op}
+		list, err := binary.ReadUvarint(rd)
 		if err != nil {
-			return rec, err
+			return nil, err
 		}
-		rec.group = int(group)
-		f8, err := rd.take(8)
+		rec.list = zerber.ListID(list)
+		if op == opInsert {
+			group, err := binary.ReadVarint(rd)
+			if err != nil {
+				return nil, err
+			}
+			rec.group = int(group)
+			f8, err := rd.take(8)
+			if err != nil {
+				return nil, err
+			}
+			rec.trs = math.Float64frombits(binary.BigEndian.Uint64(f8))
+		}
+		n, err := binary.ReadUvarint(rd)
 		if err != nil {
-			return rec, err
+			return nil, err
 		}
-		rec.trs = math.Float64frombits(binary.BigEndian.Uint64(f8))
-	case opRemove:
+		if n != uint64(rd.remaining()) {
+			return nil, fmt.Errorf("sealed length %d, %d bytes remain", n, rd.remaining())
+		}
+		sealed, err := rd.take(int(n))
+		if err != nil {
+			return nil, err
+		}
+		rec.sealed = append([]byte(nil), sealed...)
+		return []walRecord{rec}, nil
+	case opInsertBatch:
+		count, err := binary.ReadUvarint(rd)
+		if err != nil {
+			return nil, err
+		}
+		// Each entry costs at least 11 bytes (delta, group, trs,
+		// sealedLen), so an absurd count cannot pass the payload it
+		// arrived in — reject before allocating.
+		if count > uint64(rd.remaining()) {
+			return nil, fmt.Errorf("batch claims %d entries with %d bytes left", count, rd.remaining())
+		}
+		recs := make([]walRecord, 0, count)
+		prev := int64(0)
+		for i := uint64(0); i < count; i++ {
+			delta, err := binary.ReadVarint(rd)
+			if err != nil {
+				return nil, err
+			}
+			prev += delta
+			if prev < 0 {
+				return nil, fmt.Errorf("batch entry %d: negative list id %d", i, prev)
+			}
+			group, err := binary.ReadVarint(rd)
+			if err != nil {
+				return nil, err
+			}
+			f8, err := rd.take(8)
+			if err != nil {
+				return nil, err
+			}
+			n, err := binary.ReadUvarint(rd)
+			if err != nil {
+				return nil, err
+			}
+			sealed, err := rd.take(int(n))
+			if err != nil {
+				return nil, err
+			}
+			recs = append(recs, walRecord{
+				seq:    seq + i,
+				op:     opInsert,
+				list:   zerber.ListID(prev),
+				group:  int(group),
+				trs:    math.Float64frombits(binary.BigEndian.Uint64(f8)),
+				sealed: append([]byte(nil), sealed...),
+			})
+		}
+		if rd.remaining() != 0 {
+			return nil, fmt.Errorf("batch leaves %d trailing bytes", rd.remaining())
+		}
+		return recs, nil
 	default:
-		return rec, fmt.Errorf("unknown op %d", op)
+		return nil, fmt.Errorf("unknown op %d", op)
 	}
-	n, err := binary.ReadUvarint(rd)
-	if err != nil {
-		return rec, err
-	}
-	if n != uint64(rd.remaining()) {
-		return rec, fmt.Errorf("sealed length %d, %d bytes remain", n, rd.remaining())
-	}
-	sealed, err := rd.take(int(n))
-	if err != nil {
-		return rec, err
-	}
-	rec.sealed = append([]byte(nil), sealed...)
-	return rec, nil
 }
 
 // byteCursor is a minimal io.ByteReader over a slice with bulk takes.
@@ -205,11 +315,12 @@ func openWALForAppend(path string) (*wal, error) {
 	return &wal{f: f, bw: bufio.NewWriter(f)}, nil
 }
 
-// append frames the record and pushes it to the OS. The data is
-// crash-consistent with respect to process death after append returns;
-// call sync for durability across OS crashes too.
-func (w *wal) append(rec walRecord) error {
-	if err := appendRecord(w.bw, rec); err != nil {
+// write pushes pre-framed bytes (one record, or a group committer's
+// coalesced run of records) to the OS. The data is crash-consistent
+// with respect to process death after write returns; call sync for
+// durability across OS crashes too.
+func (w *wal) write(frame []byte) error {
+	if _, err := w.bw.Write(frame); err != nil {
 		return err
 	}
 	return w.bw.Flush()
@@ -303,7 +414,7 @@ func replayWAL(path string, afterSeq uint64, apply func(walRecord)) (maxSeq uint
 		if crc32.ChecksumIEEE(payload) != sum {
 			break // torn write caught by the checksum
 		}
-		rec, err := decodeWALPayload(payload)
+		recs, err := decodeWALRecords(payload)
 		if err != nil {
 			// The frame and CRC are intact, so this is not a torn
 			// write: only tolerate it at the very end of the file.
@@ -313,11 +424,13 @@ func replayWAL(path string, afterSeq uint64, apply func(walRecord)) (maxSeq uint
 			return maxSeq, fmt.Errorf("%w: undecodable record at offset %d: %v", ErrBadWAL, goodEnd, err)
 		}
 		goodEnd = cr.n
-		if rec.seq > afterSeq {
-			apply(rec)
-		}
-		if rec.seq > maxSeq {
-			maxSeq = rec.seq
+		for _, rec := range recs {
+			if rec.seq > afterSeq {
+				apply(rec)
+			}
+			if rec.seq > maxSeq {
+				maxSeq = rec.seq
+			}
 		}
 	}
 	// Torn tail: drop everything past the last intact record.
