@@ -77,6 +77,17 @@ func BenchmarkInstrumentedQuery(b *testing.B) {
 	b.Run("hit", microbench.QueryInstrumentedHit)
 }
 
+// BenchmarkProofQuery prices verifiable search on the same deep
+// follow-up windows as BenchmarkQueryCached: "proved" is the server
+// building an audited window (range multiproofs over the warmed
+// commitment), "verify" the client checking one before decryption.
+// Plain unproven queries never touch this path — QueryCached/hit's
+// own gate proves audit-on-demand costs the hot path nothing.
+func BenchmarkProofQuery(b *testing.B) {
+	b.Run("proved", microbench.ProofQueryProved)
+	b.Run("verify", microbench.ProofQueryVerify)
+}
+
 // BenchmarkStoreRecover measures cold starts. The wal-only/snapshot
 // subs replay a 20k-element dir end to end (NumElements touches only
 // list metadata, so they bound the open-time scan); the first-query

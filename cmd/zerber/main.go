@@ -9,15 +9,22 @@
 //	zerber index   -docs ./corpus -artifacts ./artifacts -server http://host:8021 -user john -pass phrase
 //	zerber query   -artifacts ./artifacts -server http://host:8021 -user john -pass phrase -k 10 term
 //	zerber status  -server http://shard0a+http://shard0b,http://shard1
+//	zerber verify  -server http://host:8021 -user john -list 3 -count 100
 //	zerber migrate -src http://old:8021 -dst http://new:8021 -secret-file secret.key
 //
 // index uploads each document's posting elements as one batched
 // /v2/insert; query drives all terms' follow-up loops over batched
 // /v2/query round-trips (-serial falls back to the one-request-per-
 // list v1 protocol, -stream prints the provisional top-k after every
-// round); status prints the server's /v2/stats view — shards are
+// round, -proof verifies a Merkle window proof for every round);
+// status prints the server's /v2/stats view — shards are
 // comma-separated and replica members of one shard are joined with
-// "+" (primary first), mirroring how a replica.Set is wired. migrate
+// "+" (primary first), mirroring how a replica.Set is wired; -roots
+// adds each list's committed Merkle root. verify audits one ranked
+// window of a list: it requests a window proof and checks inclusion,
+// adjacency and completeness against the server's committed root,
+// needing only a login (no group keys — proofs bind ciphertext, not
+// plaintext). migrate
 // moves a whole index between zerberd processes over the MAC-gated
 // admin plane (snapshot, WAL tail, digest) and differentially
 // verifies the copy before reporting success; quiesce the source (or
@@ -50,6 +57,7 @@ import (
 	"zerberr/internal/cluster"
 	"zerberr/internal/corpus"
 	"zerberr/internal/crypt"
+	"zerberr/internal/proof"
 	"zerberr/internal/rank"
 	"zerberr/internal/rstf"
 	"zerberr/internal/server"
@@ -81,6 +89,8 @@ func main() {
 		cmdQuery(ctx, os.Args[2:])
 	case "status":
 		cmdStatus(ctx, os.Args[2:])
+	case "verify":
+		cmdVerify(ctx, os.Args[2:])
 	case "migrate":
 		cmdMigrate(ctx, os.Args[2:])
 	default:
@@ -89,7 +99,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: zerber {init|index|query|status|migrate} [flags]   (run a subcommand with -h for details)")
+	fmt.Fprintln(os.Stderr, "usage: zerber {init|index|query|status|verify|migrate} [flags]   (run a subcommand with -h for details)")
 	os.Exit(2)
 }
 
@@ -298,6 +308,7 @@ func cmdQuery(ctx context.Context, args []string) {
 	k := fs.Int("k", 10, "number of results")
 	serial := fs.Bool("serial", false, "use the serial v1 protocol (one round-trip per list request)")
 	stream := fs.Bool("stream", false, "print the provisional top-k after every protocol round")
+	proved := fs.Bool("proof", false, "verify a Merkle window proof for every protocol round (incompatible with -serial)")
 	timeout := fs.Duration("timeout", 0, "overall query deadline (0 = none)")
 	_ = fs.Parse(args)
 	terms := fs.Args()
@@ -326,6 +337,9 @@ func cmdQuery(ctx context.Context, args []string) {
 	var opts []client.SearchOption
 	if *serial {
 		opts = append(opts, client.WithSerial())
+	}
+	if *proved {
+		opts = append(opts, client.WithProof())
 	}
 	var results []rank.Result
 	var stats client.QueryStats
@@ -365,7 +379,11 @@ func cmdStatus(ctx context.Context, args []string) {
 	fs := flag.NewFlagSet("status", flag.ExitOnError)
 	serverURL := fs.String("server", "http://localhost:8021", "index server URL; comma-separate shards, join one shard's replica members with '+' (primary first)")
 	lists := fs.Bool("lists", false, "also print per-list element counts (single server only)")
+	roots := fs.Bool("roots", false, "also print each list's committed Merkle root (single server only; implies -lists)")
 	_ = fs.Parse(args)
+	if *roots {
+		*lists = true
+	}
 
 	shards := strings.Split(*serverURL, ",")
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -411,14 +429,70 @@ func cmdStatus(ctx context.Context, args []string) {
 		single = nil
 	}
 	if single != nil && *lists {
-		st, err := single.Stats(ctx)
+		stats := single.Stats
+		if *roots {
+			stats = single.StatsRoots
+		}
+		st, err := stats(ctx)
 		if err != nil {
 			fatal("fetching stats failed", "err", err)
 		}
 		for _, ls := range st.PerList {
-			fmt.Printf("  list %-6d %d elements\n", ls.List, ls.Elements)
+			if *roots {
+				fmt.Printf("  list %-6d %8d elements  v%-6d root %s\n", ls.List, ls.Elements, ls.Version, ls.Root)
+			} else {
+				fmt.Printf("  list %-6d %d elements\n", ls.List, ls.Elements)
+			}
 		}
 	}
+}
+
+// cmdVerify audits one ranked window of a merged list: it requests a
+// Merkle window proof and verifies inclusion, adjacency and
+// completeness against the server's committed root. Only a login is
+// needed — proofs bind the server-visible fields (TRS, ciphertext,
+// group), so the auditor holds no group keys and decrypts nothing.
+func cmdVerify(ctx context.Context, args []string) {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	serverURL := fs.String("server", "http://localhost:8021", "index server URL")
+	user := fs.String("user", "", "user name (required; group tokens bound the audited view)")
+	list := fs.Int("list", -1, "merged list ID to audit (required)")
+	offset := fs.Int("offset", 0, "window start within the ranked view")
+	count := fs.Int("count", 1000, "window size to audit")
+	_ = fs.Parse(args)
+	if *user == "" || *list < 0 {
+		fatal("verify: -user and -list are required")
+	}
+	h := client.HTTP{BaseURL: strings.TrimSpace(*serverURL), Retry: client.DefaultRetryPolicy()}
+	toks, err := h.Login(ctx, *user)
+	if err != nil {
+		fatal("login failed", "user", *user, "err", err)
+	}
+	res, err := h.QueryBatch(ctx, toks, []server.ListQuery{{
+		List: zerber.ListID(*list), Offset: *offset, Count: *count, Proof: true,
+	}})
+	if err != nil {
+		fatal("proved query failed", "list", *list, "err", err)
+	}
+	resp := res.Responses[0]
+	allowed := make(map[int]bool, len(toks))
+	for _, tok := range toks {
+		allowed[tok.Group] = true
+	}
+	elems := make([]proof.WindowElement, len(resp.Elements))
+	for i, el := range resp.Elements {
+		elems[i] = proof.WindowElement{TRS: el.TRS, Sealed: el.Sealed, Group: el.Group}
+	}
+	if err := proof.VerifyWindow(resp.Proof, allowed, *offset, *count, elems, resp.Exhausted, resp.Version); err != nil {
+		fatal("window verification FAILED", "list", *list, "err", err)
+	}
+	scope := "window"
+	if resp.Exhausted && *offset == 0 {
+		scope = "whole visible list"
+	}
+	fmt.Printf("list %d verified: %s [%d,%d) holds %d elements (exhausted=%v) under root %s at version %d\n",
+		*list, scope, *offset, *offset+len(resp.Elements), len(resp.Elements), resp.Exhausted,
+		resp.Proof.Root.Short(), resp.Version)
 }
 
 // fmtLatency renders a latency estimate for the status table; zero

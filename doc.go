@@ -71,6 +71,22 @@
 // plane (/v3/admin) that is distinct from the user-facing transport.
 // See DESIGN.md "Replication & migration".
 //
+// Reads can be made verifiable (internal/proof): every merged list
+// carries a lazily built Merkle commitment — per-group RFC 6962 trees
+// over the rank order, group headers binding element counts, a
+// version-bound list root — and a client that opts in (WithProof,
+// `zerber query -proof`) receives a range multiproof with every
+// protocol round showing the returned window is exactly the committed
+// ranked range for its groups: complete, ordered, correctly offset,
+// with exhaustion proven rather than asserted. Tampering of any kind
+// surfaces as ErrProofInvalid before decryption, roots are pinned
+// across rounds (equivocation detection) and cross-checked between
+// replicas, and `zerber status -roots` / `zerber verify` expose them
+// for out-of-band audit. Plain queries never hash — commitments are
+// built on first audit and maintained incrementally — and unproven
+// responses stay byte-identical, so verification is free until asked
+// for. See DESIGN.md "Verifiable search".
+//
 // Around those roles sits a production ops plane (internal/obs):
 // structured log/slog logging with per-request IDs, a dependency-free
 // metrics registry served at GET /metrics in Prometheus text format

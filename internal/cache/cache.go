@@ -30,6 +30,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"zerberr/internal/proof"
 	"zerberr/internal/store"
 	"zerberr/internal/zerber"
 )
@@ -159,10 +160,25 @@ func (c *Cache) shardFor(k Key) *shard {
 }
 
 // cost accounts an entry's bytes: payloads plus bookkeeping estimates.
+// A memoized window proof is charged too — its hashes and boundary
+// payloads are real resident bytes, and proved entries would otherwise
+// look free to the LRU.
 func cost(k Key, res store.QueryResult) int64 {
 	n := int64(entryOverhead + len(k.Groups))
 	for _, el := range res.Elements {
 		n += int64(len(el.Sealed) + elementOverhead)
+	}
+	if w := res.Proof; w != nil {
+		n += entryOverhead
+		for _, gw := range w.Groups {
+			n += entryOverhead + int64(len(gw.Path)+2)*proof.HashSize
+			if gw.Pred != nil {
+				n += int64(len(gw.Pred.Sealed) + elementOverhead)
+			}
+			if gw.Succ != nil {
+				n += int64(len(gw.Succ.Sealed) + elementOverhead)
+			}
+		}
 	}
 	return n
 }

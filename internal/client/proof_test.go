@@ -1,0 +1,319 @@
+package client
+
+// Tamper suite for verified search: a fault-injecting store.Backend
+// sits under a real server and mutates proved query results in every
+// way a dishonest shard could. WithProof must turn each class into
+// ErrProofInvalid before anything is decrypted; unproven search — by
+// design — swallows the silent classes without noticing.
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"zerberr/internal/corpus"
+	"zerberr/internal/crypt"
+	"zerberr/internal/proof"
+	"zerberr/internal/rstf"
+	"zerberr/internal/server"
+	"zerberr/internal/store"
+	"zerberr/internal/zerber"
+)
+
+// tamperBackend wraps a real Backend and mutates query results on the
+// way out — the model of a compromised shard that still holds the
+// honest committed state.
+type tamperBackend struct {
+	store.Backend
+	mu     sync.Mutex
+	proved func(*store.QueryResult)
+	plain  func(*store.QueryResult)
+}
+
+func (b *tamperBackend) set(proved, plain func(*store.QueryResult)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.proved, b.plain = proved, plain
+}
+
+func (b *tamperBackend) QueryProved(list zerber.ListID, allowed map[int]bool, offset, count int) (store.QueryResult, error) {
+	res, err := b.Backend.QueryProved(list, allowed, offset, count)
+	b.mu.Lock()
+	f := b.proved
+	b.mu.Unlock()
+	if err == nil && f != nil {
+		res.Elements = append([]store.Element{}, res.Elements...)
+		f(&res)
+	}
+	return res, err
+}
+
+func (b *tamperBackend) Query(list zerber.ListID, allowed map[int]bool, offset, count int) (store.QueryResult, error) {
+	res, err := b.Backend.Query(list, allowed, offset, count)
+	b.mu.Lock()
+	f := b.plain
+	b.mu.Unlock()
+	if err == nil && f != nil {
+		res.Elements = append([]store.Element{}, res.Elements...)
+		f(&res)
+	}
+	return res, err
+}
+
+// newTamperHarness is newHarness over a tamperBackend, with the
+// injector handle returned alongside.
+func newTamperHarness(t *testing.T, seed uint64) (*harness, *tamperBackend) {
+	t.Helper()
+	p := corpus.ProfileStudIP()
+	p.NumDocs = 160
+	p.VocabSize = 1500
+	p.Topics = 3
+	c := corpus.Generate(p, seed)
+	split := corpus.NewSplit(c, 0.3, 0.33, seed)
+	st := rstf.TrainStore(
+		corpus.TrainingScores(c, split.Train),
+		corpus.TrainingScores(c, split.Control),
+		rstf.StoreConfig{FallbackSeed: seed},
+	)
+	plan, err := zerber.BFM(zerber.FromCorpus(c), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := &tamperBackend{Backend: store.NewMemory()}
+	srv := server.NewWithBackend([]byte("tamper-secret"), time.Hour, tb)
+	keys := map[int]crypt.GroupKey{}
+	groups := make([]int, c.Groups)
+	for g := 0; g < c.Groups; g++ {
+		keys[g] = crypt.KeyFromPassphrase("group-" + string(rune('a'+g)))
+		groups[g] = g
+	}
+	srv.RegisterUser("writer", groups...)
+	cl, err := New(Local{S: srv}, Config{Plan: plan, Store: st, Codec: crypt.GCMCodec{}, Keys: keys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Login(context.Background(), "writer"); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range c.Docs {
+		if err := cl.IndexDocument(context.Background(), d, d.Group); err != nil {
+			t.Fatalf("indexing doc %d: %v", d.ID, err)
+		}
+	}
+	return &harness{c: c, plan: plan, store: st, srv: srv, keys: keys, cl: cl}, tb
+}
+
+func TestWithProofMatchesUnproven(t *testing.T) {
+	h, _ := newTamperHarness(t, 21)
+	terms := h.c.TermsByDF()
+	query := []corpus.TermID{terms[0], terms[4], terms[11]}
+	plain, _, err := h.cl.Search(context.Background(), query, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proved, stats, err := h.cl.Search(context.Background(), query, 10, WithProof())
+	if err != nil {
+		t.Fatalf("proved search: %v", err)
+	}
+	if !reflect.DeepEqual(plain, proved) {
+		t.Fatalf("proved results differ from plain:\nplain  %v\nproved %v", plain, proved)
+	}
+	if stats.Requests < len(query) {
+		t.Fatalf("proved search recorded %d requests for %d terms", stats.Requests, len(query))
+	}
+}
+
+func TestWithProofSerialRejected(t *testing.T) {
+	h, _ := newTamperHarness(t, 22)
+	_, _, err := h.cl.Search(context.Background(), []corpus.TermID{h.c.TermsByDF()[0]}, 5, WithProof(), WithSerial())
+	if !errors.Is(err, ErrBadQuery) {
+		t.Fatalf("WithProof+WithSerial: got %v, want ErrBadQuery", err)
+	}
+}
+
+// TestWithProofDetectsTampering is the detection matrix: every class
+// of server misbehavior must surface as ErrProofInvalid. Each class
+// queries its own term so one class's poisoned cache entries cannot
+// mask another's mutation.
+func TestWithProofDetectsTampering(t *testing.T) {
+	h, tb := newTamperHarness(t, 23)
+	terms := h.c.TermsByDF()
+	classes := []struct {
+		name string
+		f    func(*store.QueryResult)
+	}{
+		{"dropped element", func(r *store.QueryResult) {
+			if len(r.Elements) > 0 {
+				r.Elements = r.Elements[:len(r.Elements)-1]
+			}
+		}},
+		{"reordered window", func(r *store.QueryResult) {
+			if len(r.Elements) >= 2 {
+				r.Elements[0], r.Elements[1] = r.Elements[1], r.Elements[0]
+			}
+		}},
+		{"forged payload", func(r *store.QueryResult) {
+			if len(r.Elements) > 0 {
+				s := append([]byte{}, r.Elements[0].Sealed...)
+				s[0] ^= 1
+				r.Elements[0].Sealed = s
+			}
+		}},
+		{"forged TRS", func(r *store.QueryResult) {
+			if len(r.Elements) > 0 {
+				r.Elements[0].TRS += 0.125
+			}
+		}},
+		{"forged exhausted flag", func(r *store.QueryResult) {
+			r.Exhausted = !r.Exhausted
+		}},
+		{"forged version", func(r *store.QueryResult) {
+			r.Version++
+		}},
+		{"stripped proof", func(r *store.QueryResult) {
+			r.Proof = nil
+		}},
+		{"forged root", func(r *store.QueryResult) {
+			if r.Proof != nil {
+				w := *r.Proof
+				w.Root[0] ^= 1
+				r.Proof = &w
+			}
+		}},
+	}
+	if len(terms) < len(classes) {
+		t.Fatal("corpus too small for the class matrix")
+	}
+	for i, tc := range classes {
+		t.Run(tc.name, func(t *testing.T) {
+			tb.set(tc.f, nil)
+			defer tb.set(nil, nil)
+			_, _, err := h.cl.Search(context.Background(), []corpus.TermID{terms[i]}, 5, WithProof())
+			if err == nil {
+				t.Fatal("tampered window accepted")
+			}
+			if !errors.Is(err, ErrProofInvalid) {
+				t.Fatalf("got %v, want ErrProofInvalid", err)
+			}
+		})
+	}
+	// With injection off again the same terms verify cleanly — the
+	// backend state itself was never corrupted.
+	for i := range classes {
+		if _, _, err := h.cl.Search(context.Background(), []corpus.TermID{terms[i]}, 5, WithProof()); err != nil {
+			t.Fatalf("honest search after class %d still failing: %v", i, err)
+		}
+	}
+}
+
+// TestUnprovenSearchSilentOnTamper pins down what proofs buy: the
+// same element-dropping server that WithProof rejects is answered
+// without any error by an unproven search — it simply returns wrong
+// results.
+func TestUnprovenSearchSilentOnTamper(t *testing.T) {
+	h, tb := newTamperHarness(t, 24)
+	terms := h.c.TermsByDF()
+	term := terms[len(terms)-1] // rare term: single exhausted round
+	df := h.c.DF(term)
+	if df < 2 {
+		term = terms[len(terms)/2]
+		df = h.c.DF(term)
+	}
+	drop := func(r *store.QueryResult) {
+		if r.Exhausted && len(r.Elements) > 0 {
+			r.Elements = r.Elements[:len(r.Elements)-1]
+		}
+	}
+	tb.set(drop, drop)
+	defer tb.set(nil, nil)
+	got, _, err := h.cl.Search(context.Background(), []corpus.TermID{term}, df+10, WithInitialResponse(df+10))
+	if err != nil {
+		t.Fatalf("unproven search over tampering server errored: %v", err)
+	}
+	if len(got) >= df {
+		t.Fatalf("drop injector inert: %d results, df %d", len(got), df)
+	}
+	if _, _, err := h.cl.Search(context.Background(), []corpus.TermID{term}, df+10, WithInitialResponse(df+10), WithProof()); !errors.Is(err, ErrProofInvalid) {
+		t.Fatalf("proved search over the same server: got %v, want ErrProofInvalid", err)
+	}
+}
+
+func TestWithProofHTTPEndToEnd(t *testing.T) {
+	h, _ := newTamperHarness(t, 25)
+	ts := httptest.NewServer(h.srv.Handler())
+	defer ts.Close()
+	remote, err := New(HTTP{BaseURL: ts.URL}, Config{Plan: h.plan, Store: h.store, Keys: h.keys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := remote.Login(context.Background(), "writer"); err != nil {
+		t.Fatal(err)
+	}
+	terms := h.c.TermsByDF()
+	query := []corpus.TermID{terms[1], terms[6]}
+	plain, _, err := remote.Search(context.Background(), query, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proved, _, err := remote.Search(context.Background(), query, 8, WithProof())
+	if err != nil {
+		t.Fatalf("proved search over HTTP: %v", err)
+	}
+	if !reflect.DeepEqual(plain, proved) {
+		t.Fatal("proved HTTP results differ from plain")
+	}
+}
+
+// miniWindow commits a single-group list holding exactly els (already
+// rank-sorted) and returns the full-window proof for it.
+func miniWindow(version uint64, els []server.StoredElement) *proof.Window {
+	leaves := make([]proof.Hash, len(els))
+	for i, e := range els {
+		leaves[i] = proof.LeafHash(e.TRS, e.Sealed)
+	}
+	root := proof.TreeRoot(leaves)
+	gw := proof.GroupWindow{Group: 1, Count: len(els), Root: &root, Start: 0, End: len(els)}
+	gw.Path = proof.RangeProof(leaves, 0, len(els))
+	content := proof.ContentRoot([]proof.HeaderEntry{{Group: 1, HH: proof.HeaderHash(1, len(els), root)}})
+	return &proof.Window{
+		Version: version,
+		Root:    proof.ListRoot(version, content),
+		Groups:  []proof.GroupWindow{gw},
+	}
+}
+
+// TestProofStatePinsRoots is the equivocation check: two internally
+// consistent commitments to different content under the same (list,
+// version) must be rejected on the second sighting.
+func TestProofStatePinsRoots(t *testing.T) {
+	ps := &proofState{allowed: map[int]bool{1: true}, pins: map[pinKey]proof.Hash{}}
+	q := server.ListQuery{List: 7, Offset: 0, Count: 10, Proof: true}
+	elsA := []server.StoredElement{
+		{Sealed: []byte("x1"), TRS: 3, Group: 1},
+		{Sealed: []byte("x2"), TRS: 2, Group: 1},
+	}
+	respA := server.QueryResponse{Elements: elsA, Exhausted: true, Version: 42, Proof: miniWindow(42, elsA)}
+	if err := ps.verify(q, respA); err != nil {
+		t.Fatalf("first honest window: %v", err)
+	}
+	// Re-seeing the identical commitment is fine.
+	if err := ps.verify(q, respA); err != nil {
+		t.Fatalf("repeat of pinned window: %v", err)
+	}
+	elsB := []server.StoredElement{
+		{Sealed: []byte("y1"), TRS: 9, Group: 1},
+	}
+	respB := server.QueryResponse{Elements: elsB, Exhausted: true, Version: 42, Proof: miniWindow(42, elsB)}
+	if err := ps.verify(q, respB); !errors.Is(err, ErrProofInvalid) {
+		t.Fatalf("equivocating window: got %v, want ErrProofInvalid", err)
+	}
+	// A different version is a new pin, not equivocation.
+	respC := server.QueryResponse{Elements: elsB, Exhausted: true, Version: 43, Proof: miniWindow(43, elsB)}
+	if err := ps.verify(q, respC); err != nil {
+		t.Fatalf("new version rejected: %v", err)
+	}
+}

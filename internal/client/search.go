@@ -23,6 +23,7 @@ type searchConfig struct {
 	initial int
 	serial  bool
 	strict  bool
+	proved  bool
 }
 
 // SearchOption customizes one Search or SearchStream call.
@@ -49,6 +50,18 @@ func WithSerial() SearchOption {
 // Config.StrictTopK, which sets the per-client default).
 func WithStrictTopK() SearchOption {
 	return func(o *searchConfig) { o.strict = true }
+}
+
+// WithProof makes every round of this query verifiable: each
+// sub-query requests a Merkle window proof and the response is
+// verified — inclusion, adjacency, completeness and the exhausted
+// flag, against a root pinned per (list, version) across the whole
+// search — before anything is decrypted or ranked. A response failing
+// verification aborts the search with ErrProofInvalid. Only the
+// batched v2 path carries proofs; combining WithProof with WithSerial
+// is ErrBadQuery.
+func WithProof() SearchOption {
+	return func(o *searchConfig) { o.proved = true }
 }
 
 // Snapshot is one progressive-search observation: the provisional
@@ -146,6 +159,10 @@ func (c *Client) searchStream(ctx context.Context, terms []corpus.TermID, k int,
 			yield(Snapshot{}, fmt.Errorf("%w: no query terms", ErrBadQuery))
 			return
 		}
+		if o.serial && o.proved {
+			yield(Snapshot{}, fmt.Errorf("%w: WithProof needs the batched path (drop WithSerial)", ErrBadQuery))
+			return
+		}
 		scans := make([]*termScan, len(terms))
 		for i, term := range terms {
 			scans[i] = c.newTermScan(term, k, o.initial, o.strict)
@@ -153,15 +170,21 @@ func (c *Client) searchStream(ctx context.Context, terms []corpus.TermID, k int,
 		if o.serial {
 			c.streamSerial(ctx, scans, k, progressive, &total, yield)
 		} else {
-			c.streamBatched(ctx, scans, k, progressive, &total, yield)
+			c.streamBatched(ctx, scans, k, progressive, o.proved, &total, yield)
 		}
 	}
 }
 
 // streamBatched drives every open scan through one QueryBatch per
 // round, yielding a snapshot after each round (progressive) or only
-// once settled, until all scans settle or the consumer breaks.
-func (c *Client) streamBatched(ctx context.Context, scans []*termScan, k int, progressive bool, total *QueryStats, yield func(Snapshot, error) bool) {
+// once settled, until all scans settle or the consumer breaks. With
+// proved set every sub-query requests a window proof and each
+// response is verified before absorb sees it.
+func (c *Client) streamBatched(ctx context.Context, scans []*termScan, k int, progressive, proved bool, total *QueryStats, yield func(Snapshot, error) bool) {
+	var ps *proofState
+	if proved {
+		ps = c.newProofState()
+	}
 	for {
 		if err := ctx.Err(); err != nil {
 			yield(Snapshot{Stats: *total}, err)
@@ -171,7 +194,9 @@ func (c *Client) streamBatched(ctx context.Context, scans []*termScan, k int, pr
 		var open []int
 		for i, s := range scans {
 			if !s.done {
-				queries = append(queries, s.next())
+				q := s.next()
+				q.Proof = proved
+				queries = append(queries, q)
 				open = append(open, i)
 			}
 		}
@@ -189,6 +214,12 @@ func (c *Client) streamBatched(ctx context.Context, scans []*termScan, k int, pr
 		total.Requests += len(queries)
 		roundElems := 0
 		for j, resp := range resps {
+			if ps != nil {
+				if err := ps.verify(queries[j], resp); err != nil {
+					yield(Snapshot{Stats: *total}, err)
+					return
+				}
+			}
 			roundElems += len(resp.Elements)
 			if err := scans[open[j]].absorb(resp, c.openElement); err != nil {
 				yield(Snapshot{Stats: *total}, err)

@@ -306,5 +306,17 @@ func (h HTTP) Stats(ctx context.Context) (server.StatsV2Response, error) {
 	return out, nil
 }
 
+// StatsRoots is Stats plus each list's Merkle commitment (GET
+// /v2/stats?roots=1): ListStat.Version and the truncated Root digest.
+// An audit call — the server materializes every list's commitment to
+// answer it.
+func (h HTTP) StatsRoots(ctx context.Context) (server.StatsV2Response, error) {
+	var out server.StatsV2Response
+	if _, err := h.exchange(ctx, http.MethodGet, "/v2/stats?roots=1", nil, &out, true); err != nil {
+		return server.StatsV2Response{}, err
+	}
+	return out, nil
+}
+
 var _ Transport = Local{}
 var _ Transport = HTTP{}

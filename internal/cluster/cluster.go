@@ -327,9 +327,15 @@ func (r *Router) QueryBatch(ctx context.Context, toks []crypt.Token, queries []s
 			sub[j] = queries[gi]
 			if c != nil && sub[j].IfVersion == nil {
 				if res, ok := c.Get(r.windowKey(groups, queries[gi])); ok && res.Version != 0 {
-					w := &cachedWindow{res: res}
-					retained[gi] = w
-					sub[j].IfVersion = &w.res.Version
+					// A proved sub-query can only be made conditional on a
+					// window whose proof was retained with it: an Unchanged
+					// answer must substitute the proof too, and a proof-less
+					// entry has nothing to substitute.
+					if !sub[j].Proof || res.Proof != nil {
+						w := &cachedWindow{res: res}
+						retained[gi] = w
+						sub[j].IfVersion = &w.res.Version
+					}
 				}
 			}
 		}
@@ -345,8 +351,13 @@ func (r *Router) QueryBatch(ctx context.Context, toks []crypt.Token, queries []s
 			switch w := retained[gi]; {
 			case resp.Unchanged && w != nil:
 				// The shard vouched the retained window is still the
-				// current content for this version.
+				// current content for this version — which makes the
+				// retained proof (same version, same commitment) exact
+				// too, so a proved sub-query gets it back.
 				out[gi] = server.QueryResponse{Elements: w.res.Elements, Exhausted: w.res.Exhausted, Version: resp.Version}
+				if queries[gi].Proof {
+					out[gi].Proof = w.res.Proof
+				}
 			default:
 				out[gi] = resp
 				if c != nil && !resp.Unchanged && resp.Version != 0 && queries[gi].IfVersion == nil {
@@ -354,6 +365,7 @@ func (r *Router) QueryBatch(ctx context.Context, toks []crypt.Token, queries []s
 						Elements:  resp.Elements,
 						Exhausted: resp.Exhausted,
 						Version:   resp.Version,
+						Proof:     resp.Proof,
 					})
 				}
 			}

@@ -27,6 +27,7 @@ import (
 	"zerberr/internal/corpus"
 	"zerberr/internal/crypt"
 	"zerberr/internal/obs"
+	"zerberr/internal/proof"
 	"zerberr/internal/replica"
 	"zerberr/internal/server"
 	"zerberr/internal/store"
@@ -48,6 +49,8 @@ func Suite() []Bench {
 		{"QueryCached/hit", QueryCachedHit},
 		{"QueryCached/uncached", QueryCachedUncached},
 		{"QueryInstrumented/hit", QueryInstrumentedHit},
+		{"ProofQuery/proved", ProofQueryProved},
+		{"ProofQuery/verify", ProofQueryVerify},
 		{"StoreAppend", StoreAppend},
 		{"StoreAppendParallel/window=0", StoreAppendParallelSync},
 		{"StoreAppendParallel/grouped", StoreAppendParallelGrouped},
@@ -268,6 +271,58 @@ func QueryCachedUncached(b *testing.B) {
 func QueryInstrumentedHit(b *testing.B) {
 	f := servers()
 	queryCached(b, f.instrumented, f.toks)
+}
+
+// --- verifiable reads -----------------------------------------------
+
+// ProofQueryProved prices the audit path at steady state: QueryProved
+// over the warmed 120k-element list, replaying the same deep follow-up
+// windows as QueryCached. The commitment's leaves are materialized
+// once outside the timer (first-touch cost, paid per list lifetime),
+// so the measured cost is window assembly plus range-multiproof
+// generation — the delta over QueryFollowup/indexed is what an audited
+// window costs the server.
+func ProofQueryProved(b *testing.B) {
+	f := bigList()
+	if _, err := f.mem.QueryProved(fixtureList, fixtureAllowed, 0, 1); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range followupRounds {
+			res, err := f.mem.QueryProved(fixtureList, fixtureAllowed, r.Offset, r.Count)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Elements) != r.Count || res.Proof == nil {
+				b.Fatalf("offset %d: %d elements, proof %v", r.Offset, len(res.Elements), res.Proof != nil)
+			}
+		}
+	}
+}
+
+// ProofQueryVerify prices the client side: VerifyWindow over the
+// deepest follow-up window (4k elements plus boundaries) — the
+// per-round cost a WithProof search pays before decrypting anything.
+func ProofQueryVerify(b *testing.B) {
+	f := bigList()
+	r := followupRounds[len(followupRounds)-1]
+	res, err := f.mem.QueryProved(fixtureList, fixtureAllowed, r.Offset, r.Count)
+	if err != nil {
+		b.Fatal(err)
+	}
+	elems := make([]proof.WindowElement, len(res.Elements))
+	for i, el := range res.Elements {
+		elems[i] = proof.WindowElement{TRS: el.TRS, Sealed: el.Sealed, Group: el.Group}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := proof.VerifyWindow(res.Proof, fixtureAllowed, r.Offset, r.Count, elems, res.Exhausted, res.Version); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // --- storage-engine appends -----------------------------------------

@@ -1,0 +1,115 @@
+package proof
+
+import (
+	"crypto/sha256"
+	"math/bits"
+)
+
+// The tree shape is RFC 6962's: a tree over n > 1 leaves splits into
+// a left subtree over the largest power of two strictly below n and a
+// right subtree over the rest; a single leaf is its own root. The
+// shape is a pure function of n, so prover and verifier agree on it
+// from the leaf count alone, and a contiguous leaf range [lo, hi) has
+// exactly one multiproof: the roots of the maximal subtrees disjoint
+// from the range, in traversal (left-to-right) order.
+
+// splitPoint returns the left-subtree width for n >= 2 leaves: the
+// largest power of two strictly less than n.
+func splitPoint(n int) int {
+	return 1 << (bits.Len(uint(n-1)) - 1)
+}
+
+// emptyRoot is the root of a tree with no leaves: H(0x01) — no real
+// interior node hashes a lone domain byte, so it collides with
+// nothing. Commitments omit empty groups, so it never appears inside
+// a header in practice; it exists so TreeRoot is total.
+func emptyRoot() Hash {
+	return Hash(sha256.Sum256([]byte{domainNode}))
+}
+
+// TreeRoot computes the root over the full leaf slice.
+func TreeRoot(leaves []Hash) Hash {
+	if len(leaves) == 0 {
+		return emptyRoot()
+	}
+	return subRoot(leaves, 0, len(leaves))
+}
+
+// subRoot computes the root of the subtree spanning leaves [a, b).
+func subRoot(leaves []Hash, a, b int) Hash {
+	if b-a == 1 {
+		return leaves[a]
+	}
+	k := splitPoint(b - a)
+	return interiorHash(subRoot(leaves, a, a+k), subRoot(leaves, a+k, b))
+}
+
+// RangeProof returns the multiproof for the contiguous leaf range
+// [lo, hi) of the given leaves: the subtree roots a verifier holding
+// only the range's leaves needs to rebuild the full root. Cost is
+// O(n) leaf-level hashing in the worst case — acceptable because
+// proofs are generated on demand, never on the unproven hot path.
+// Requires 0 <= lo < hi <= len(leaves).
+func RangeProof(leaves []Hash, lo, hi int) []Hash {
+	return rangeProofStep(leaves, 0, len(leaves), lo, hi, nil)
+}
+
+func rangeProofStep(leaves []Hash, a, b, lo, hi int, out []Hash) []Hash {
+	if a >= hi || b <= lo {
+		// Disjoint from the range: one opaque subtree root.
+		return append(out, subRoot(leaves, a, b))
+	}
+	if lo <= a && b <= hi {
+		// Inside the range: the verifier rebuilds this from its leaves.
+		return out
+	}
+	k := splitPoint(b - a)
+	out = rangeProofStep(leaves, a, a+k, lo, hi, out)
+	return rangeProofStep(leaves, a+k, b, lo, hi, out)
+}
+
+// VerifyRange rebuilds the root of an n-leaf tree from the leaves of
+// the contiguous range [lo, hi) plus a RangeProof for it, reporting
+// whether the reconstruction is well-formed (the proof holds exactly
+// the hashes the shape demands — no more, no fewer). The caller
+// compares the returned root against the committed one.
+func VerifyRange(n, lo, hi int, rangeLeaves, path []Hash) (Hash, bool) {
+	if lo < 0 || hi > n || lo >= hi || hi-lo != len(rangeLeaves) {
+		return Hash{}, false
+	}
+	v := &rangeVerifier{leaves: rangeLeaves, path: path, lo: lo, hi: hi, ok: true}
+	root := v.node(0, n)
+	if !v.ok || len(v.path) != 0 {
+		return Hash{}, false
+	}
+	return root, true
+}
+
+// rangeVerifier mirrors rangeProofStep's traversal, consuming proof
+// hashes where the prover emitted them and range leaves inside the
+// range.
+type rangeVerifier struct {
+	leaves []Hash
+	path   []Hash
+	lo, hi int
+	ok     bool
+}
+
+func (v *rangeVerifier) node(a, b int) Hash {
+	if a >= v.hi || b <= v.lo {
+		if len(v.path) == 0 {
+			v.ok = false
+			return Hash{}
+		}
+		h := v.path[0]
+		v.path = v.path[1:]
+		return h
+	}
+	if b-a == 1 {
+		return v.leaves[a-v.lo]
+	}
+	k := splitPoint(b - a)
+	left := v.node(a, a+k)
+	right := v.node(a+k, b)
+	return interiorHash(left, right)
+}

@@ -1,0 +1,182 @@
+// Package proof implements the Merkle commitment scheme behind
+// verifiable search: each merged posting list is committed as one
+// binary Merkle tree per group over that group's rank-ordered run,
+// the per-group roots are folded into a content root over the sorted
+// group headers, and the content root is bound to the list's mutation
+// version to form the list root a server advertises.
+//
+// The commitment lets an untrusted shard prove, per ranked window it
+// serves, both inclusion (every returned element is committed at the
+// claimed rank position of its group) and adjacency (the window is
+// complete — the elements skipped before it and withheld after it
+// provably rank outside it), reducing what a client must trust from
+// "the server answered honestly" to "the server advertises one
+// consistent root per (list, version)". Root authenticity is
+// out-of-band by design: clients pin roots across the rounds of one
+// search, replicas cross-check roots between members, and migration
+// compares version-free content roots across a copy — a server that
+// commits to a wrong index state is indistinguishable from a server
+// whose index is that state, and is caught exactly when two of those
+// channels disagree (or a full-window audit walks the commitment).
+//
+// Hashing is SHA-256 throughout with one-byte domain separation:
+// 0x00 leaves, 0x01 interior nodes, 0x02 group headers, 0x03 the
+// content root, 0x04 the version-bound list root. Trees follow the
+// RFC 6962 shape (split at the largest power of two below the leaf
+// count), so a contiguous leaf range has one deterministic multiproof.
+package proof
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// HashSize is the byte length of every digest in the scheme.
+const HashSize = sha256.Size
+
+// Hash is one SHA-256 digest. It marshals as lowercase hex on the
+// wire (a JSON byte-array of 32 numbers would triple the proof size).
+type Hash [HashSize]byte
+
+// String renders the full digest as lowercase hex.
+func (h Hash) String() string { return hex.EncodeToString(h[:]) }
+
+// Short renders the digest truncated to 16 hex characters — the
+// human-facing form stats tables and CLI output use.
+func (h Hash) Short() string { return hex.EncodeToString(h[:8]) }
+
+// MarshalJSON implements json.Marshaler (lowercase hex).
+func (h Hash) MarshalJSON() ([]byte, error) {
+	return json.Marshal(hex.EncodeToString(h[:]))
+}
+
+// UnmarshalJSON implements json.Unmarshaler, requiring exactly 64 hex
+// characters.
+func (h *Hash) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	raw, err := hex.DecodeString(s)
+	if err != nil {
+		return fmt.Errorf("proof: bad hash: %w", err)
+	}
+	if len(raw) != HashSize {
+		return fmt.Errorf("proof: bad hash: %d bytes, want %d", len(raw), HashSize)
+	}
+	copy(h[:], raw)
+	return nil
+}
+
+// Domain-separation prefixes. Every hash in the scheme starts with
+// exactly one of these, so no input to one role can collide with an
+// input to another.
+const (
+	domainLeaf    = 0x00
+	domainNode    = 0x01
+	domainHeader  = 0x02
+	domainContent = 0x03
+	domainList    = 0x04
+)
+
+// LeafHash commits one posting element: H(0x00 || TRS as 8-byte
+// big-endian IEEE bits || uvarint(len(sealed)) || sealed). The group
+// is deliberately absent — it is bound by which group's tree the leaf
+// lives in — so a leaf's value survives merges and removals unchanged
+// and commitments can be maintained incrementally: mutations move
+// leaves, they never rehash them.
+func LeafHash(trs float64, sealed []byte) Hash {
+	h := sha256.New()
+	var head [9]byte
+	head[0] = domainLeaf
+	binary.BigEndian.PutUint64(head[1:], math.Float64bits(trs))
+	h.Write(head[:])
+	var v [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(v[:], uint64(len(sealed)))
+	h.Write(v[:n])
+	h.Write(sealed)
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// interiorHash combines two subtree roots: H(0x01 || left || right).
+func interiorHash(left, right Hash) Hash {
+	h := sha256.New()
+	h.Write([]byte{domainNode})
+	h.Write(left[:])
+	h.Write(right[:])
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// HeaderHash commits one group's run: H(0x02 || varint(group) ||
+// uvarint(count) || root). Responses carry it opaque for groups
+// outside the caller's view, hiding their counts and roots while
+// still letting the caller rebuild the content root — and letting it
+// check, from the group IDs carried in clear, that none of its own
+// groups was smuggled into an opaque header.
+func HeaderHash(group, count int, root Hash) Hash {
+	h := sha256.New()
+	var buf [1 + 2*binary.MaxVarintLen64]byte
+	buf[0] = domainHeader
+	n := 1 + binary.PutVarint(buf[1:], int64(group))
+	n += binary.PutUvarint(buf[n:], uint64(count))
+	h.Write(buf[:n])
+	h.Write(root[:])
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// HeaderEntry is one group's contribution to the content root: the
+// group ID in clear plus its header hash.
+type HeaderEntry struct {
+	Group int
+	HH    Hash
+}
+
+// ContentRoot folds the group headers — sorted by ascending group ID,
+// empty groups omitted — into the list's version-free content digest:
+// H(0x03 || uvarint(n) || n × (varint(group) || headerHash)). Being
+// version-free makes it the cross-instance identity check: a migrated
+// copy holding identical elements has an identical content root even
+// though its mutation versions differ.
+func ContentRoot(entries []HeaderEntry) Hash {
+	h := sha256.New()
+	var buf [binary.MaxVarintLen64]byte
+	buf[0] = domainContent
+	h.Write(buf[:1])
+	n := binary.PutUvarint(buf[:], uint64(len(entries)))
+	h.Write(buf[:n])
+	for _, e := range entries {
+		n = binary.PutVarint(buf[:], int64(e.Group))
+		h.Write(buf[:n])
+		h.Write(e.HH[:])
+	}
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// ListRoot binds a content root to the list's mutation version:
+// H(0x04 || version as 8-byte big-endian || content). This is the
+// digest proofs verify against — equal versions with equal roots
+// guarantee identical committed content, the same contract the
+// version-keyed caches rest on, now cryptographically enforceable.
+func ListRoot(version uint64, content Hash) Hash {
+	h := sha256.New()
+	var buf [9]byte
+	buf[0] = domainList
+	binary.BigEndian.PutUint64(buf[1:], version)
+	h.Write(buf[:])
+	h.Write(content[:])
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}

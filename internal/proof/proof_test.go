@@ -1,0 +1,521 @@
+package proof
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// leaves returns n distinct deterministic leaf hashes.
+func leaves(n int) []Hash {
+	out := make([]Hash, n)
+	for i := range out {
+		out[i] = LeafHash(float64(n-i), []byte{byte(i), byte(n)})
+	}
+	return out
+}
+
+func TestSplitPoint(t *testing.T) {
+	cases := map[int]int{2: 1, 3: 2, 4: 2, 5: 4, 6: 4, 7: 4, 8: 4, 9: 8, 16: 8, 17: 16, 33: 32}
+	for n, want := range cases {
+		if got := splitPoint(n); got != want {
+			t.Errorf("splitPoint(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestTreeRootShape(t *testing.T) {
+	l := leaves(5)
+	if TreeRoot(l[:1]) != l[0] {
+		t.Error("single-leaf tree root is not the leaf")
+	}
+	if got, want := TreeRoot(l[:2]), interiorHash(l[0], l[1]); got != want {
+		t.Error("2-leaf root mismatch")
+	}
+	// n=3 splits 2|1, n=5 splits 4|1 (RFC 6962 shape).
+	if got, want := TreeRoot(l[:3]), interiorHash(interiorHash(l[0], l[1]), l[2]); got != want {
+		t.Error("3-leaf root mismatch")
+	}
+	want5 := interiorHash(
+		interiorHash(interiorHash(l[0], l[1]), interiorHash(l[2], l[3])),
+		l[4])
+	if got := TreeRoot(l); got != want5 {
+		t.Error("5-leaf root mismatch")
+	}
+	if TreeRoot(nil) != emptyRoot() {
+		t.Error("empty tree root is not emptyRoot")
+	}
+}
+
+func TestRangeProofRoundTrip(t *testing.T) {
+	for n := 1; n <= 16; n++ {
+		l := leaves(n)
+		root := TreeRoot(l)
+		for lo := 0; lo < n; lo++ {
+			for hi := lo + 1; hi <= n; hi++ {
+				path := RangeProof(l, lo, hi)
+				got, ok := VerifyRange(n, lo, hi, l[lo:hi], path)
+				if !ok || got != root {
+					t.Fatalf("n=%d [%d,%d): verify ok=%v root match=%v", n, lo, hi, ok, got == root)
+				}
+			}
+		}
+	}
+}
+
+func TestVerifyRangeRejects(t *testing.T) {
+	l := leaves(7)
+	root := TreeRoot(l)
+	path := RangeProof(l, 2, 5)
+	if _, ok := VerifyRange(7, 2, 5, l[2:5], path[:len(path)-1]); ok {
+		t.Error("truncated path accepted")
+	}
+	if _, ok := VerifyRange(7, 2, 5, l[2:5], append(append([]Hash{}, path...), Hash{})); ok {
+		t.Error("padded path accepted")
+	}
+	if _, ok := VerifyRange(7, 2, 5, l[2:4], path); ok {
+		t.Error("wrong range width accepted")
+	}
+	if _, ok := VerifyRange(7, 5, 2, nil, path); ok {
+		t.Error("inverted range accepted")
+	}
+	if _, ok := VerifyRange(7, 2, 8, l[2:7], path); ok {
+		t.Error("range past n accepted")
+	}
+	bad := append([]Hash{}, l[2:5]...)
+	bad[0][0] ^= 1
+	if got, ok := VerifyRange(7, 2, 5, bad, path); ok && got == root {
+		t.Error("tampered leaf rebuilt the committed root")
+	}
+	// A smaller claimed tree needs fewer path hashes, so the honest
+	// n=7 proof must fail structurally over n=6. (A *larger* claimed n
+	// can pass VerifyRange — path hashes are opaque, a leaf doubles as
+	// a subtree root — which is why Count is bound by HeaderHash, not
+	// by the range proof.)
+	if _, ok := VerifyRange(6, 2, 5, l[2:5], path); ok {
+		t.Error("n=6 consumed an n=7 proof cleanly")
+	}
+}
+
+func TestHashJSON(t *testing.T) {
+	h := LeafHash(1.5, []byte("x"))
+	raw, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Hash
+	if err := json.Unmarshal(raw, &back); err != nil || back != h {
+		t.Fatalf("round-trip: %v, equal=%v", err, back == h)
+	}
+	for _, bad := range []string{`"abc"`, `"zz"`, `42`, `""`, fmt.Sprintf("%q", h.String()+"00")} {
+		if err := json.Unmarshal([]byte(bad), &back); err == nil {
+			t.Errorf("accepted bad hash %s", bad)
+		}
+	}
+	if len(h.String()) != 64 || len(h.Short()) != 16 {
+		t.Error("hex render lengths wrong")
+	}
+}
+
+func TestHashDistinctness(t *testing.T) {
+	pairs := [][2]Hash{
+		{LeafHash(1, []byte("ab")), LeafHash(2, []byte("ab"))},
+		{LeafHash(1, []byte("ab")), LeafHash(1, []byte("ac"))},
+		{LeafHash(1, []byte("a")), LeafHash(1, []byte("ab"))},
+		{HeaderHash(1, 2, Hash{}), HeaderHash(2, 2, Hash{})},
+		{HeaderHash(1, 2, Hash{}), HeaderHash(1, 3, Hash{})},
+		{ContentRoot(nil), ContentRoot([]HeaderEntry{{Group: 1}})},
+		{ListRoot(1, Hash{}), ListRoot(2, Hash{})},
+	}
+	for i, p := range pairs {
+		if p[0] == p[1] {
+			t.Errorf("pair %d collided", i)
+		}
+	}
+	// Domain separation: a leaf over empty input, an interior over zero
+	// hashes, a header, the content root and the list root all start
+	// with different prefixes, so none can equal another by construction;
+	// spot-check the degenerate inputs anyway.
+	all := []Hash{LeafHash(0, nil), interiorHash(Hash{}, Hash{}), HeaderHash(0, 0, Hash{}), ContentRoot(nil), ListRoot(0, Hash{}), emptyRoot()}
+	for i := range all {
+		for j := i + 1; j < len(all); j++ {
+			if all[i] == all[j] {
+				t.Errorf("domains %d and %d collided", i, j)
+			}
+		}
+	}
+}
+
+// --- VerifyWindow: reference prover --------------------------------
+
+// pEl is one committed element in the reference prover.
+type pEl struct {
+	trs    float64
+	sealed []byte
+	group  int
+}
+
+// buildWindow is an independent reference implementation of the proof
+// generator: it commits the given groups, answers the ranked window
+// [offset, offset+count) over the allowed view and constructs the
+// exact proof an honest server would. VerifyWindow must accept its
+// output and reject any mutation of it.
+func buildWindow(version uint64, groups map[int][]pEl, allowed map[int]bool, offset, count int) (*Window, []WindowElement, bool) {
+	runs := make(map[int][]pEl)
+	var ids []int
+	for g, els := range groups {
+		if len(els) == 0 {
+			continue
+		}
+		run := append([]pEl{}, els...)
+		sort.Slice(run, func(i, j int) bool {
+			return cmpRank(run[i].trs, run[i].sealed, run[j].trs, run[j].sealed) < 0
+		})
+		runs[g] = run
+		ids = append(ids, g)
+	}
+	sort.Ints(ids)
+	var merged []pEl
+	for g, run := range runs {
+		if allowed[g] {
+			merged = append(merged, run...)
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		return cmpRank(merged[i].trs, merged[i].sealed, merged[j].trs, merged[j].sealed) < 0
+	})
+	end := offset + count
+	if end > len(merged) {
+		end = len(merged)
+	}
+	start := offset
+	if start > len(merged) {
+		start = len(merged)
+	}
+	window := merged[start:end]
+	exhausted := end == len(merged)
+
+	// Per-group committed position of the window slice: count run
+	// members inside the merged prefix and window.
+	inPrefix := make(map[int]int)
+	inWindow := make(map[int]int)
+	for _, el := range merged[:start] {
+		inPrefix[el.group]++
+	}
+	for _, el := range window {
+		inWindow[el.group]++
+	}
+
+	w := &Window{Version: version}
+	var entries []HeaderEntry
+	for _, g := range ids {
+		run := runs[g]
+		lh := make([]Hash, len(run))
+		for i, el := range run {
+			lh[i] = LeafHash(el.trs, el.sealed)
+		}
+		root := TreeRoot(lh)
+		hh := HeaderHash(g, len(run), root)
+		entries = append(entries, HeaderEntry{Group: g, HH: hh})
+		if !allowed[g] {
+			op := hh
+			w.Groups = append(w.Groups, GroupWindow{Group: g, Opaque: &op})
+			continue
+		}
+		gw := GroupWindow{Group: g, Count: len(run), Root: &root,
+			Start: inPrefix[g], End: inPrefix[g] + inWindow[g]}
+		lo, hi := gw.Start, gw.End
+		if gw.Start > 0 {
+			p := run[gw.Start-1]
+			gw.Pred = &Boundary{TRS: p.trs, Sealed: p.sealed}
+			lo--
+		}
+		if gw.End < gw.Count {
+			s := run[gw.End]
+			gw.Succ = &Boundary{TRS: s.trs, Sealed: s.sealed}
+			hi++
+		}
+		gw.Path = RangeProof(lh, lo, hi)
+		w.Groups = append(w.Groups, gw)
+	}
+	w.Root = ListRoot(version, ContentRoot(entries))
+
+	elems := make([]WindowElement, len(window))
+	for i, el := range window {
+		elems[i] = WindowElement{TRS: el.trs, Sealed: el.sealed, Group: el.group}
+	}
+	return w, elems, exhausted
+}
+
+// fixture is a three-group committed list; groups 1 and 3 are in the
+// caller's view, group 2 is foreign.
+func fixture() (map[int][]pEl, map[int]bool) {
+	groups := map[int][]pEl{
+		1: {
+			{9.5, []byte("a1"), 1}, {7.0, []byte("a2"), 1}, {4.0, []byte("a3"), 1},
+			{2.0, []byte("a4"), 1}, {1.0, []byte("a5"), 1},
+		},
+		2: {
+			{8.0, []byte("b1"), 2}, {3.0, []byte("b2"), 2},
+		},
+		3: {
+			{9.0, []byte("c1"), 3}, {6.0, []byte("c2"), 3}, {5.0, []byte("c3"), 3},
+			{0.5, []byte("c4"), 3},
+		},
+	}
+	allowed := map[int]bool{1: true, 3: true}
+	return groups, allowed
+}
+
+func TestVerifyWindowAccepts(t *testing.T) {
+	groups, allowed := fixture()
+	// Visible merged order: a1 9.5, c1 9, a2 7, c2 6, c3 5, a3 4, a4 2, a5 1, c4 0.5.
+	for _, q := range []struct{ offset, count int }{
+		{0, 3}, {0, 9}, {0, 20}, {2, 4}, {5, 4}, {8, 1}, {9, 5}, {12, 3}, {0, 1}, {4, 1},
+	} {
+		w, elems, exhausted := buildWindow(7, groups, allowed, q.offset, q.count)
+		if err := VerifyWindow(w, allowed, q.offset, q.count, elems, exhausted, 7); err != nil {
+			t.Errorf("[%d,%d): honest window rejected: %v", q.offset, q.offset+q.count, err)
+		}
+	}
+	// Single-group views, including one where the other committed
+	// groups all travel opaque.
+	for g := range allowed {
+		view := map[int]bool{g: true}
+		w, elems, exhausted := buildWindow(3, groups, view, 1, 2)
+		if err := VerifyWindow(w, view, 1, 2, elems, exhausted, 3); err != nil {
+			t.Errorf("single-group view %d rejected: %v", g, err)
+		}
+	}
+}
+
+func TestVerifyWindowJSONRoundTrip(t *testing.T) {
+	groups, allowed := fixture()
+	w, elems, exhausted := buildWindow(7, groups, allowed, 2, 4)
+	raw, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Window
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyWindow(&back, allowed, 2, 4, elems, exhausted, 7); err != nil {
+		t.Fatalf("window no longer verifies after JSON round-trip: %v", err)
+	}
+}
+
+func TestVerifyWindowRejects(t *testing.T) {
+	groups, allowed := fixture()
+	build := func() (*Window, []WindowElement, bool) {
+		return buildWindow(7, groups, allowed, 2, 4)
+	}
+	cases := []struct {
+		name   string
+		mutate func(w *Window, elems []WindowElement) (*Window, []WindowElement, int, int, bool, uint64)
+	}{
+		{"nil proof", func(w *Window, e []WindowElement) (*Window, []WindowElement, int, int, bool, uint64) {
+			return nil, e, 2, 4, false, 7
+		}},
+		{"version mismatch", func(w *Window, e []WindowElement) (*Window, []WindowElement, int, int, bool, uint64) {
+			return w, e, 2, 4, false, 8
+		}},
+		{"overfull window", func(w *Window, e []WindowElement) (*Window, []WindowElement, int, int, bool, uint64) {
+			return w, e, 2, len(e) - 1, false, 7
+		}},
+		{"reordered elements", func(w *Window, e []WindowElement) (*Window, []WindowElement, int, int, bool, uint64) {
+			e[0], e[1] = e[1], e[0]
+			return w, e, 2, 4, false, 7
+		}},
+		{"tampered TRS", func(w *Window, e []WindowElement) (*Window, []WindowElement, int, int, bool, uint64) {
+			e[1].TRS += 0.25
+			return w, e, 2, 4, false, 7
+		}},
+		{"tampered payload", func(w *Window, e []WindowElement) (*Window, []WindowElement, int, int, bool, uint64) {
+			e[2].Sealed = append([]byte{}, e[2].Sealed...)
+			e[2].Sealed[0] ^= 1
+			return w, e, 2, 4, false, 7
+		}},
+		{"dropped element", func(w *Window, e []WindowElement) (*Window, []WindowElement, int, int, bool, uint64) {
+			return w, e[:len(e)-1], 2, 4, false, 7
+		}},
+		{"dropped element claimed exhausted", func(w *Window, e []WindowElement) (*Window, []WindowElement, int, int, bool, uint64) {
+			return w, e[:len(e)-1], 2, 4, true, 7
+		}},
+		{"foreign group in element", func(w *Window, e []WindowElement) (*Window, []WindowElement, int, int, bool, uint64) {
+			e[0].Group = 2
+			return w, e, 2, 4, false, 7
+		}},
+		{"wrong offset", func(w *Window, e []WindowElement) (*Window, []WindowElement, int, int, bool, uint64) {
+			return w, e, 3, 4, false, 7
+		}},
+		{"exhausted flag forged", func(w *Window, e []WindowElement) (*Window, []WindowElement, int, int, bool, uint64) {
+			return w, e, 2, 4, true, 7
+		}},
+		{"group headers reordered", func(w *Window, e []WindowElement) (*Window, []WindowElement, int, int, bool, uint64) {
+			w.Groups[0], w.Groups[1] = w.Groups[1], w.Groups[0]
+			return w, e, 2, 4, false, 7
+		}},
+		{"dropped group header", func(w *Window, e []WindowElement) (*Window, []WindowElement, int, int, bool, uint64) {
+			w.Groups = w.Groups[:len(w.Groups)-1]
+			return w, e, 2, 4, false, 7
+		}},
+		{"allowed group made opaque", func(w *Window, e []WindowElement) (*Window, []WindowElement, int, int, bool, uint64) {
+			for i := range w.Groups {
+				if w.Groups[i].Group == 3 {
+					hh := HeaderHash(3, w.Groups[i].Count, *w.Groups[i].Root)
+					w.Groups[i] = GroupWindow{Group: 3, Opaque: &hh}
+				}
+			}
+			// Keep only group-1 elements so the missing-proof check is
+			// not what fires first.
+			var kept []WindowElement
+			for _, el := range e {
+				if el.Group == 1 {
+					kept = append(kept, el)
+				}
+			}
+			return w, kept, 2, 4, false, 7
+		}},
+		{"opaque group with window fields", func(w *Window, e []WindowElement) (*Window, []WindowElement, int, int, bool, uint64) {
+			for i := range w.Groups {
+				if w.Groups[i].Opaque != nil {
+					w.Groups[i].Count = 2
+				}
+			}
+			return w, e, 2, 4, false, 7
+		}},
+		{"tampered group root", func(w *Window, e []WindowElement) (*Window, []WindowElement, int, int, bool, uint64) {
+			for i := range w.Groups {
+				if w.Groups[i].Root != nil {
+					r := *w.Groups[i].Root
+					r[0] ^= 1
+					w.Groups[i].Root = &r
+					break
+				}
+			}
+			return w, e, 2, 4, false, 7
+		}},
+		{"truncated range proof", func(w *Window, e []WindowElement) (*Window, []WindowElement, int, int, bool, uint64) {
+			for i := range w.Groups {
+				if len(w.Groups[i].Path) > 0 {
+					w.Groups[i].Path = w.Groups[i].Path[:len(w.Groups[i].Path)-1]
+					break
+				}
+			}
+			return w, e, 2, 4, false, 7
+		}},
+		{"shifted group range", func(w *Window, e []WindowElement) (*Window, []WindowElement, int, int, bool, uint64) {
+			for i := range w.Groups {
+				if w.Groups[i].Root != nil && w.Groups[i].Start > 0 {
+					w.Groups[i].Start--
+					break
+				}
+			}
+			return w, e, 2, 4, false, 7
+		}},
+		{"inflated group count", func(w *Window, e []WindowElement) (*Window, []WindowElement, int, int, bool, uint64) {
+			for i := range w.Groups {
+				if w.Groups[i].Root != nil {
+					w.Groups[i].Count++
+					break
+				}
+			}
+			return w, e, 2, 4, false, 7
+		}},
+		{"boundary stripped", func(w *Window, e []WindowElement) (*Window, []WindowElement, int, int, bool, uint64) {
+			for i := range w.Groups {
+				if w.Groups[i].Pred != nil {
+					w.Groups[i].Pred = nil
+					break
+				}
+			}
+			return w, e, 2, 4, false, 7
+		}},
+		{"tampered root", func(w *Window, e []WindowElement) (*Window, []WindowElement, int, int, bool, uint64) {
+			w.Root[0] ^= 1
+			return w, e, 2, 4, false, 7
+		}},
+	}
+	for _, tc := range cases {
+		w, elems, _ := build()
+		mw, me, off, cnt, exh, ver := tc.mutate(w, elems)
+		err := VerifyWindow(mw, allowed, off, cnt, me, exh, ver)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		} else if !errors.Is(err, ErrInvalid) {
+			t.Errorf("%s: error %v does not wrap ErrInvalid", tc.name, err)
+		}
+	}
+	// Sanity: the unmutated window still verifies (build() is honest).
+	w, elems, exhausted := build()
+	if err := VerifyWindow(w, allowed, 2, 4, elems, exhausted, 7); err != nil {
+		t.Fatalf("baseline window rejected: %v", err)
+	}
+}
+
+// TestVerifyWindowBoundaryPinning is the adjacency attack: a server
+// withholding a high-ranking element and substituting a lower one must
+// be caught by the boundary checks even when every substituted element
+// is genuinely committed.
+func TestVerifyWindowBoundaryPinning(t *testing.T) {
+	groups, allowed := fixture()
+	// Honest [0,3) is a1, c1, a2. Serve a1, c1, c2 instead: c2 is
+	// committed, the window is still rank-sorted, but a2 (TRS 7) was
+	// skipped — group 1's Succ boundary must expose it.
+	w, _, _ := buildWindow(7, groups, allowed, 0, 3)
+	forged := []WindowElement{
+		{TRS: 9.5, Sealed: []byte("a1"), Group: 1},
+		{TRS: 9.0, Sealed: []byte("c1"), Group: 3},
+		{TRS: 6.0, Sealed: []byte("c2"), Group: 3},
+	}
+	// The forged window needs forged per-group ranges too; rebuild them
+	// the way a cheating server would (group 1 end=1, group 3 end=2)
+	// and check some check still fires.
+	runs := map[int][]pEl{}
+	for g, els := range groups {
+		run := append([]pEl{}, els...)
+		sort.Slice(run, func(i, j int) bool {
+			return cmpRank(run[i].trs, run[i].sealed, run[j].trs, run[j].sealed) < 0
+		})
+		runs[g] = run
+	}
+	for i := range w.Groups {
+		gw := &w.Groups[i]
+		if gw.Root == nil {
+			continue
+		}
+		lh := make([]Hash, len(runs[gw.Group]))
+		for j, el := range runs[gw.Group] {
+			lh[j] = LeafHash(el.trs, el.sealed)
+		}
+		switch gw.Group {
+		case 1:
+			gw.Start, gw.End = 0, 1
+		case 3:
+			gw.Start, gw.End = 0, 2
+		}
+		lo, hi := gw.Start, gw.End
+		gw.Pred, gw.Succ = nil, nil
+		if gw.Start > 0 {
+			p := runs[gw.Group][gw.Start-1]
+			gw.Pred = &Boundary{TRS: p.trs, Sealed: p.sealed}
+			lo--
+		}
+		if gw.End < gw.Count {
+			s := runs[gw.Group][gw.End]
+			gw.Succ = &Boundary{TRS: s.trs, Sealed: s.sealed}
+			hi++
+		}
+		gw.Path = RangeProof(lh, lo, hi)
+	}
+	err := VerifyWindow(w, allowed, 0, 3, forged, false, 7)
+	if err == nil {
+		t.Fatal("withheld-element window accepted")
+	}
+	if !errors.Is(err, ErrInvalid) {
+		t.Fatalf("error %v does not wrap ErrInvalid", err)
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"zerberr/internal/client"
 	"zerberr/internal/crypt"
 	"zerberr/internal/obs"
+	"zerberr/internal/proof"
 	"zerberr/internal/server"
 	"zerberr/internal/zerber"
 )
@@ -58,11 +59,12 @@ const DemoteAfter = 3
 // Metric names a Set registers via SetObs. The router attaches the
 // shard label; the families themselves carry no list or term identity.
 const (
-	MetricHedgedReads   = "zerber_replica_hedged_reads_total"
-	MetricHedgeWins     = "zerber_replica_hedge_wins_total"
-	MetricFailoverReads = "zerber_replica_failover_reads_total"
-	MetricWriteFaults   = "zerber_replica_write_faults_total"
-	MetricStaleMembers  = "zerber_replica_stale_members"
+	MetricHedgedReads    = "zerber_replica_hedged_reads_total"
+	MetricHedgeWins      = "zerber_replica_hedge_wins_total"
+	MetricFailoverReads  = "zerber_replica_failover_reads_total"
+	MetricWriteFaults    = "zerber_replica_write_faults_total"
+	MetricStaleMembers   = "zerber_replica_stale_members"
+	MetricRootMismatches = "zerber_replica_root_mismatches_total"
 )
 
 // member is one transport of the set plus its liveness state.
@@ -90,11 +92,27 @@ type Set struct {
 	delay         atomic.Pointer[delayFn]
 	delayExplicit atomic.Bool
 
-	hedges      atomic.Uint64
-	hedgeWins   atomic.Uint64
-	failovers   atomic.Uint64
-	writeFaults atomic.Uint64
-	resyncs     atomic.Uint64
+	// roots pins the last Merkle list root seen per list across all
+	// members: any two members answering a proved read at the same
+	// list version must commit to the same root, so a hedged or
+	// failover answer cannot silently come from a diverged replica
+	// (checkRoot).
+	rootMu sync.Mutex
+	roots  map[zerber.ListID]rootPin
+
+	hedges         atomic.Uint64
+	hedgeWins      atomic.Uint64
+	failovers      atomic.Uint64
+	writeFaults    atomic.Uint64
+	resyncs        atomic.Uint64
+	rootMismatches atomic.Uint64
+}
+
+// rootPin is the newest committed root the set has observed for one
+// list.
+type rootPin struct {
+	version uint64
+	root    proof.Hash
 }
 
 type delayFn func() time.Duration
@@ -169,6 +187,10 @@ type Stats struct {
 	Failovers      uint64 `json:"failovers"`
 	WriteFaults    uint64 `json:"write_faults"`
 	Resyncs        uint64 `json:"resyncs"`
+	// RootMismatches counts proved answers whose Merkle root disagreed
+	// with another member's at the same list version — evidence of a
+	// diverged (or lying) member.
+	RootMismatches uint64 `json:"root_mismatches,omitempty"`
 }
 
 // Stats snapshots the counters.
@@ -182,6 +204,7 @@ func (s *Set) Stats() Stats {
 		Failovers:      s.failovers.Load(),
 		WriteFaults:    s.writeFaults.Load(),
 		Resyncs:        s.resyncs.Load(),
+		RootMismatches: s.rootMismatches.Load(),
 	}
 }
 
@@ -212,6 +235,38 @@ func (s *Set) SetObs(reg *obs.Registry, labels ...obs.Label) {
 		func() float64 { return float64(s.writeFaults.Load()) }, labels...)
 	reg.GaugeFunc(MetricStaleMembers, "replicas currently excluded from reads pending resync",
 		func() float64 { return float64(s.staleCount()) }, labels...)
+	reg.CounterFunc(MetricRootMismatches, "proved answers whose Merkle root disagreed across members at one list version",
+		func() float64 { return float64(s.rootMismatches.Load()) }, labels...)
+}
+
+// checkRoot cross-checks one proved answer against the set-wide root
+// registry: members answering the same list version must commit to
+// the same root. A mismatch is returned as a plain error — it maps to
+// CodeInternal and is therefore failover-worthy, so the race moves on
+// to the next member instead of serving a diverged answer. Unproven
+// answers (nil window) pass through; older-version answers are
+// ignored rather than compared, since a read racing a write can
+// legitimately observe a member pre-write.
+func (s *Set) checkRoot(list zerber.ListID, w *proof.Window) error {
+	if w == nil {
+		return nil
+	}
+	s.rootMu.Lock()
+	defer s.rootMu.Unlock()
+	pin, ok := s.roots[list]
+	switch {
+	case ok && pin.version == w.Version:
+		if pin.root != w.Root {
+			s.rootMismatches.Add(1)
+			return fmt.Errorf("replica: list %d version %d: members committed two different roots", list, w.Version)
+		}
+	case !ok || w.Version > pin.version:
+		if s.roots == nil {
+			s.roots = make(map[zerber.ListID]rootPin)
+		}
+		s.roots[list] = rootPin{version: w.Version, root: w.Root}
+	}
+	return nil
 }
 
 // write runs one mutation primary-first, then fans it to the live
@@ -292,15 +347,33 @@ func (s *Set) Query(ctx context.Context, toks []crypt.Token, list zerber.ListID,
 	}
 	r, err := raceRead(ctx, s, func(ctx context.Context, t client.Transport) (qres, error) {
 		resp, n, err := t.Query(ctx, toks, list, offset, count)
+		if err == nil {
+			err = s.checkRoot(list, resp.Proof)
+		}
 		return qres{resp, n}, err
 	})
 	return r.resp, r.n, err
 }
 
-// QueryBatch implements client.Transport.
+// QueryBatch implements client.Transport. Proved sub-query answers
+// are cross-checked against the set's root registry before the race
+// accepts them, so a hedge or failover winner cannot hand back state
+// the rest of the set never committed to.
 func (s *Set) QueryBatch(ctx context.Context, toks []crypt.Token, queries []server.ListQuery) (client.BatchQueryResult, error) {
 	return raceRead(ctx, s, func(ctx context.Context, t client.Transport) (client.BatchQueryResult, error) {
-		return t.QueryBatch(ctx, toks, queries)
+		res, err := t.QueryBatch(ctx, toks, queries)
+		if err != nil {
+			return res, err
+		}
+		for i, resp := range res.Responses {
+			if i >= len(queries) {
+				break
+			}
+			if err := s.checkRoot(queries[i].List, resp.Proof); err != nil {
+				return client.BatchQueryResult{}, err
+			}
+		}
+		return res, nil
 	})
 }
 

@@ -20,11 +20,9 @@ import (
 	"crypto/hmac"
 	"crypto/sha256"
 	"crypto/subtle"
-	"encoding/binary"
 	"encoding/hex"
 	"errors"
 	"fmt"
-	"hash/crc64"
 	"io"
 	"math"
 	"net/http"
@@ -51,9 +49,9 @@ type SnapshotExport struct {
 }
 
 // ListDigest summarizes one list for differential verification: its
-// mutation version, element count and a CRC-64 over the rank-ordered
-// (group, trs, sealed) content. Sum is hex so the JSON survives
-// decoders that round large integers.
+// mutation version, element count and the hex Merkle content root
+// over the rank-ordered (group, trs, sealed) content (the same
+// commitment window proofs verify against).
 type ListDigest struct {
 	List     zerber.ListID `json:"list"`
 	Version  uint64        `json:"version"`
@@ -225,10 +223,14 @@ func (s *Server) ApplyOps(ctx context.Context, ops []TailOp) error {
 	return nil
 }
 
-// Digest summarizes every list for differential verification. It is
-// only a consistent whole-shard cut while writes are paused (the
-// migration barrier, the replica resync lock); individual list entries
-// are always internally consistent.
+// Digest summarizes every list for differential verification. Sum is
+// the hex Merkle content root (internal/proof): version-free, equal
+// iff two lists hold identical elements in identical rank order, and
+// the same leaf hashing window proofs verify against — so a migration
+// cut-over check is a cryptographic identity, not a checksum. The
+// result is only a consistent whole-shard cut while writes are paused
+// (the migration barrier, the replica resync lock); individual list
+// entries are always internally consistent.
 func (s *Server) Digest(ctx context.Context) ([]ListDigest, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -238,35 +240,20 @@ func (s *Server) Digest(ctx context.Context) ([]ListDigest, error) {
 		return nil, fmt.Errorf("server: listing: %w", err)
 	}
 	out := make([]ListDigest, 0, len(lists))
-	tab := crc64.MakeTable(crc64.ECMA)
-	var f8 [8]byte
 	for _, id := range lists {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		d := ListDigest{List: id}
-		sum := crc64.New(tab)
-		verr := s.backend.View(id, func(elems []StoredElement) {
-			d.Elements = len(elems)
-			var vbuf [binary.MaxVarintLen64]byte
-			for _, el := range elems {
-				n := binary.PutVarint(vbuf[:], int64(el.Group))
-				sum.Write(vbuf[:n])
-				binary.BigEndian.PutUint64(f8[:], math.Float64bits(el.TRS))
-				sum.Write(f8[:])
-				n = binary.PutUvarint(vbuf[:], uint64(len(el.Sealed)))
-				sum.Write(vbuf[:n])
-				sum.Write(el.Sealed)
-			}
+		cm, err := s.backend.Commitment(id)
+		if err != nil {
+			return nil, fmt.Errorf("server: digesting list: %w", err)
+		}
+		out = append(out, ListDigest{
+			List:     id,
+			Version:  cm.Version,
+			Elements: cm.Elements,
+			Sum:      cm.Content.String(),
 		})
-		if verr != nil {
-			return nil, fmt.Errorf("server: digesting list: %w", verr)
-		}
-		if d.Version, verr = s.backend.Version(id); verr != nil {
-			return nil, fmt.Errorf("server: digesting list: %w", verr)
-		}
-		d.Sum = strconv.FormatUint(sum.Sum64(), 16)
-		out = append(out, d)
 	}
 	return out, nil
 }

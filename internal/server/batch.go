@@ -33,8 +33,14 @@ type ListQuery struct {
 	// list's current version equals it, the response is just {Version,
 	// Unchanged: true} and the caller reuses the window it retained
 	// from an earlier response (the cluster router does this per
-	// shard). Any other version serves the full window as usual.
+	// shard). Any other version serves the full window as usual. An
+	// Unchanged answer to a proved sub-query carries no proof either:
+	// equal versions commit to identical state, so the retained proof
+	// still verifies.
 	IfVersion *uint64 `json:"if_version,omitempty"`
+	// Proof asks for the window's Merkle proof (QueryResponse.Proof).
+	// Unproven sub-queries are byte-identical to pre-proof servers.
+	Proof bool `json:"proof,omitempty"`
 }
 
 // InsertOp is one element upload of a batched insert.
@@ -137,7 +143,7 @@ func (s *Server) QueryBatch(ctx context.Context, toks []crypt.Token, queries []L
 				errs[i] = err
 				return
 			}
-			out[i], errs[i] = s.queryAllowed(allowed, q.List, q.Offset, q.Count, q.IfVersion)
+			out[i], errs[i] = s.queryAllowed(allowed, q.List, q.Offset, q.Count, q.IfVersion, q.Proof)
 			if errs[i] != nil {
 				cancel()
 			}
@@ -302,6 +308,13 @@ func (s *Server) RemoveBatch(ctx context.Context, tok crypt.Token, ops []RemoveO
 type ListStat struct {
 	List     zerber.ListID `json:"list"`
 	Elements int           `json:"elements"`
+	// Version and Root are the list's current mutation version and
+	// truncated Merkle list root, present only when the caller opted
+	// into roots (GET /v2/stats?roots=1, StatsV2Roots). Computing a
+	// root materializes the list's commitment, so the default stats
+	// path never pays for it.
+	Version uint64 `json:"version,omitempty"`
+	Root    string `json:"root,omitempty"`
 }
 
 // StatsV2 reports the totals plus per-list element counts (ascending
@@ -309,6 +322,17 @@ type ListStat struct {
 // closed store) propagate instead of reading as an empty index; the
 // context is checked between per-list reads.
 func (s *Server) StatsV2(ctx context.Context) (StatsV2Response, error) {
+	return s.statsV2(ctx, false)
+}
+
+// StatsV2Roots is StatsV2 plus each list's Merkle commitment (Version
+// and truncated Root per list). It materializes every list's leaves —
+// an audit operation, not a monitoring one.
+func (s *Server) StatsV2Roots(ctx context.Context) (StatsV2Response, error) {
+	return s.statsV2(ctx, true)
+}
+
+func (s *Server) statsV2(ctx context.Context, roots bool) (StatsV2Response, error) {
 	lists, err := s.backend.Lists()
 	if err != nil {
 		return StatsV2Response{}, err
@@ -319,12 +343,24 @@ func (s *Server) StatsV2(ctx context.Context) (StatsV2Response, error) {
 		if err := ctx.Err(); err != nil {
 			return StatsV2Response{}, err
 		}
-		n, err := s.backend.Len(l)
-		if err != nil {
-			return StatsV2Response{}, err
+		st := ListStat{List: l}
+		if roots {
+			cm, err := s.backend.Commitment(l)
+			if err != nil {
+				return StatsV2Response{}, err
+			}
+			st.Elements = cm.Elements
+			st.Version = cm.Version
+			st.Root = cm.Root.Short()
+		} else {
+			n, err := s.backend.Len(l)
+			if err != nil {
+				return StatsV2Response{}, err
+			}
+			st.Elements = n
 		}
-		per = append(per, ListStat{List: l, Elements: n})
-		elements += n
+		per = append(per, st)
+		elements += st.Elements
 	}
 	sort.Slice(per, func(i, j int) bool { return per[i].List < per[j].List })
 	resp := StatsV2Response{

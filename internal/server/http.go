@@ -312,7 +312,14 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, struct{}{})
 	})
 	handle("GET", "/v2/stats", func(w http.ResponseWriter, r *http.Request) {
-		st, err := s.StatsV2(r.Context())
+		// ?roots=1 opts into per-list Merkle roots: an audit signal
+		// that materializes every list's commitment, so it is never
+		// paid for by plain monitoring scrapes.
+		stats := s.StatsV2
+		if r.URL.Query().Get("roots") == "1" {
+			stats = s.StatsV2Roots
+		}
+		st, err := stats(r.Context())
 		if err != nil {
 			writeErrV2(w, err)
 			return

@@ -20,6 +20,7 @@ import (
 const (
 	MetricQueryRoundSeconds  = "zerber_query_round_seconds"
 	MetricQueriesTotal       = "zerber_queries_total"
+	MetricProvedQueries      = "zerber_proved_queries_total"
 	MetricMutationsTotal     = "zerber_mutations_total"
 	MetricHTTPRequestSeconds = "zerber_http_request_seconds"
 	MetricHTTPRequestsTotal  = "zerber_http_requests_total"
@@ -48,6 +49,7 @@ type serverMetrics struct {
 	start       time.Time
 	queryRound  *obs.Histogram // one protocol round (Query or QueryBatch)
 	queries     *obs.Counter   // sub-queries served
+	proved      *obs.Counter   // sub-queries served with a window proof
 	inserts     *obs.Counter
 	removes     *obs.Counter
 	rateLimited *obs.Counter
@@ -74,6 +76,7 @@ func (s *Server) SetObs(reg *obs.Registry) {
 		start:       time.Now(),
 		queryRound:  reg.Histogram(MetricQueryRoundSeconds, "server-side latency of one protocol round (a Query or QueryBatch call)", nil),
 		queries:     reg.Counter(MetricQueriesTotal, "ranked-range sub-queries served"),
+		proved:      reg.Counter(MetricProvedQueries, "sub-queries served with a Merkle window proof"),
 		inserts:     reg.Counter(MetricMutationsTotal, "accepted mutations by op", obs.Label{Name: "op", Value: "insert"}),
 		removes:     reg.Counter(MetricMutationsTotal, "accepted mutations by op", obs.Label{Name: "op", Value: "remove"}),
 		rateLimited: reg.Counter(MetricRateLimitedTotal, "requests refused by the per-user rate limit"),

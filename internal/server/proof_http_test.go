@@ -1,0 +1,193 @@
+package server
+
+// Differential tests for audit-on-demand: proved sub-queries carry a
+// verifying window, while proof-off traffic stays byte-for-byte what a
+// pre-proof server produced — even after the cache memoized a proof
+// for the very same window.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"zerberr/internal/cache"
+	"zerberr/internal/crypt"
+	"zerberr/internal/proof"
+)
+
+// proofTestServer builds a cached server with one three-group list
+// and a user in groups 0 and 1 (group 2 stays foreign).
+func proofTestServer(t *testing.T) (*Server, *httptest.Server, []crypt.Token) {
+	t.Helper()
+	s := New(secret, time.Hour)
+	s.SetCache(cache.New(4 << 20))
+	s.RegisterUser("auditor", 0, 1)
+	s.RegisterUser("writer", 0, 1, 2)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	resp := post(t, ts, "/v1/login", LoginRequest{User: "writer"})
+	var wr LoginResponse
+	if err := json.NewDecoder(resp.Body).Decode(&wr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	// One token per group membership; inserts need the matching one.
+	byGroup := map[int]crypt.Token{}
+	for _, tok := range wr.Tokens {
+		byGroup[tok.Group] = tok
+	}
+	els := map[int][]StoredElement{
+		0: {{Sealed: []byte("a1"), TRS: 0.9, Group: 0}, {Sealed: []byte("a2"), TRS: 0.5, Group: 0}},
+		1: {{Sealed: []byte("b1"), TRS: 0.8, Group: 1}, {Sealed: []byte("b2"), TRS: 0.3, Group: 1}},
+		2: {{Sealed: []byte("c1"), TRS: 0.7, Group: 2}},
+	}
+	for g, batch := range els {
+		ins := InsertBatchRequest{Token: byGroup[g]}
+		for _, el := range batch {
+			ins.Ops = append(ins.Ops, InsertOp{List: 1, Element: el})
+		}
+		r := post(t, ts, "/v2/insert", ins)
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("group %d insert status %d", g, r.StatusCode)
+		}
+		r.Body.Close()
+	}
+
+	resp = post(t, ts, "/v1/login", LoginRequest{User: "auditor"})
+	var lr LoginResponse
+	if err := json.NewDecoder(resp.Body).Decode(&lr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return s, ts, lr.Tokens
+}
+
+// rawQuery posts one batched query and returns the raw response body.
+func rawQuery(t *testing.T, ts *httptest.Server, tokens []crypt.Token, q ListQuery) []byte {
+	t.Helper()
+	r := post(t, ts, "/v2/query", QueryBatchRequest{Tokens: tokens, Queries: []ListQuery{q}})
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d", r.StatusCode)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r.Body); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	return buf.Bytes()
+}
+
+func TestHTTPProofRoundTrip(t *testing.T) {
+	_, ts, tokens := proofTestServer(t)
+	raw := rawQuery(t, ts, tokens, ListQuery{List: 1, Offset: 1, Count: 2, Proof: true})
+	var qbr QueryBatchResponse
+	if err := json.Unmarshal(raw, &qbr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qbr.Responses) != 1 {
+		t.Fatalf("%d responses", len(qbr.Responses))
+	}
+	resp := qbr.Responses[0]
+	if resp.Proof == nil {
+		t.Fatal("proved query returned no proof")
+	}
+	// Visible ranked order for groups {0,1}: a1 .9, b1 .8, a2 .5, b2 .3.
+	if len(resp.Elements) != 2 || string(resp.Elements[0].Sealed) != "b1" || string(resp.Elements[1].Sealed) != "a2" {
+		t.Fatalf("window %+v", resp.Elements)
+	}
+	allowed := map[int]bool{0: true, 1: true}
+	elems := make([]proof.WindowElement, len(resp.Elements))
+	for i, el := range resp.Elements {
+		elems[i] = proof.WindowElement{TRS: el.TRS, Sealed: el.Sealed, Group: el.Group}
+	}
+	if err := proof.VerifyWindow(resp.Proof, allowed, 1, 2, elems, resp.Exhausted, resp.Version); err != nil {
+		t.Fatalf("window served over HTTP does not verify: %v", err)
+	}
+	// The foreign group travels opaque: group 2's header must carry no
+	// count, root or boundaries.
+	var sawForeign bool
+	for _, gw := range resp.Proof.Groups {
+		if gw.Group != 2 {
+			continue
+		}
+		sawForeign = true
+		if gw.Opaque == nil || gw.Root != nil || gw.Count != 0 || gw.Pred != nil || gw.Succ != nil || len(gw.Path) != 0 {
+			t.Fatalf("foreign group leaked window fields: %+v", gw)
+		}
+	}
+	if !sawForeign {
+		t.Fatal("foreign group missing from the commitment")
+	}
+}
+
+// TestProofOffByteIdentical is the compatibility differential: the
+// bytes of an unproven response must not change when proofs enter the
+// picture — neither from the backend path nor from a cache entry that
+// meanwhile memoized a proof for the same (list, version, window).
+func TestProofOffByteIdentical(t *testing.T) {
+	_, ts, tokens := proofTestServer(t)
+	q := ListQuery{List: 1, Offset: 0, Count: 3}
+
+	before := rawQuery(t, ts, tokens, q)
+	if strings.Contains(string(before), `"proof"`) {
+		t.Fatalf("unproven response mentions proof: %s", before)
+	}
+
+	// Exercise the proved path for the identical window; the cache now
+	// holds a proved entry under the same version key.
+	proved := rawQuery(t, ts, tokens, ListQuery{List: 1, Offset: 0, Count: 3, Proof: true})
+	if !strings.Contains(string(proved), `"proof"`) {
+		t.Fatal("proved response carries no proof")
+	}
+
+	after := rawQuery(t, ts, tokens, q)
+	if !bytes.Equal(before, after) {
+		t.Fatalf("proof-off bytes changed after proof memoization:\nbefore %s\nafter  %s", before, after)
+	}
+
+	// And the proved window for the same query must still verify when
+	// served out of the cache (memoized proof, not a rebuild).
+	proved2 := rawQuery(t, ts, tokens, ListQuery{List: 1, Offset: 0, Count: 3, Proof: true})
+	if !bytes.Equal(proved, proved2) {
+		t.Fatal("memoized proved response differs from the first")
+	}
+}
+
+// TestStatsRoots: /v2/stats stays root-free by default and exposes
+// per-list commitment digests only with ?roots=1.
+func TestStatsRoots(t *testing.T) {
+	_, ts, _ := proofTestServer(t)
+	plain, err := http.Get(ts.URL + "/v2/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StatsV2Response
+	if err := json.NewDecoder(plain.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	plain.Body.Close()
+	if len(st.PerList) != 1 || st.PerList[0].Root != "" {
+		t.Fatalf("default stats carry roots: %+v", st.PerList)
+	}
+
+	rooted, err := http.Get(ts.URL + "/v2/stats?roots=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(rooted.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	rooted.Body.Close()
+	if len(st.PerList) != 1 {
+		t.Fatalf("per-list stats %+v", st.PerList)
+	}
+	ls := st.PerList[0]
+	if len(ls.Root) != 16 || ls.Version == 0 || ls.Elements != 5 {
+		t.Fatalf("rooted stats %+v", ls)
+	}
+}

@@ -23,6 +23,7 @@ import (
 
 	"zerberr/internal/cache"
 	"zerberr/internal/crypt"
+	"zerberr/internal/proof"
 	"zerberr/internal/store"
 	"zerberr/internal/zerber"
 )
@@ -51,8 +52,13 @@ type QueryResponse struct {
 	Version uint64 `json:"version,omitempty"`
 	// Unchanged reports that the sub-query carried an IfVersion equal
 	// to the list's current version: the caller's retained window is
-	// still exact, so Elements and Exhausted are omitted.
+	// still exact, so Elements and Exhausted are omitted. (This covers
+	// a retained proof too: equal versions commit to identical state.)
 	Unchanged bool `json:"unchanged,omitempty"`
+	// Proof is the window's Merkle proof, present exactly when the
+	// sub-query asked for one (ListQuery.Proof). Proof-less responses
+	// are byte-identical to pre-proof servers.
+	Proof *proof.Window `json:"proof,omitempty"`
 }
 
 // Errors returned by server operations.
@@ -285,7 +291,7 @@ func (s *Server) Query(ctx context.Context, toks []crypt.Token, list zerber.List
 		return QueryResponse{}, err
 	}
 	defer s.met.Load().endRound(1, now)
-	return s.queryAllowed(allowed, list, offset, count, nil)
+	return s.queryAllowed(allowed, list, offset, count, nil, false)
 }
 
 // userOf keys the rate limiter: the presenting user of a validated
@@ -311,7 +317,14 @@ func userOf(toks []crypt.Token) string {
 // non-nil ifVersion equal to the current version short-circuits even
 // further: the caller has the window already, so only (Version,
 // Unchanged) comes back.
-func (s *Server) queryAllowed(allowed map[int]bool, list zerber.ListID, offset, count int, ifVersion *uint64) (QueryResponse, error) {
+//
+// withProof asks for the window's Merkle proof. Cache entries are
+// shared across both forms under the same key: a proved entry serves
+// unproven callers with the proof stripped, and an unproven hit under
+// a proof request falls through to the backend's proved read and
+// upgrades the entry in place (same version, so the elements are
+// identical — only the proof is new).
+func (s *Server) queryAllowed(allowed map[int]bool, list zerber.ListID, offset, count int, ifVersion *uint64, withProof bool) (QueryResponse, error) {
 	c := s.results.Load()
 	var key cache.Key
 	if c != nil {
@@ -332,27 +345,50 @@ func (s *Server) queryAllowed(allowed map[int]bool, list zerber.ListID, offset, 
 		}
 		if c != nil {
 			key.Version = ver
-			if res, ok := c.Get(key); ok {
-				return QueryResponse{Elements: res.Elements, Exhausted: res.Exhausted, Version: res.Version}, nil
+			if res, ok := c.Get(key); ok && (!withProof || res.Proof != nil) {
+				return queryResponseOf(res, withProof), nil
 			}
 		}
 	}
-	res, err := s.backend.Query(list, allowed, offset, count)
+	var res store.QueryResult
+	var err error
+	if withProof {
+		res, err = s.backend.QueryProved(list, allowed, offset, count)
+	} else {
+		res, err = s.backend.Query(list, allowed, offset, count)
+	}
 	if errors.Is(err, store.ErrUnknownList) {
 		return QueryResponse{}, fmt.Errorf("%w: %d", ErrUnknownList, list)
 	}
 	if err != nil {
 		return QueryResponse{}, err
 	}
+	if withProof {
+		if m := s.met.Load(); m != nil {
+			m.proved.Inc()
+		}
+	}
 	if c != nil {
 		// Keyed by the version the backend read the window at (observed
 		// atomically with it), which may already be newer than the
 		// version checked above — either way the entry is exact for its
-		// key. Payloads are aliased into the cache, never copied.
+		// key. Payloads are aliased into the cache, never copied. A
+		// proved result memoizes its proof under the same key.
 		key.Version = res.Version
 		c.Put(key, res)
 	}
-	return QueryResponse{Elements: res.Elements, Exhausted: res.Exhausted, Version: res.Version}, nil
+	return queryResponseOf(res, withProof), nil
+}
+
+// queryResponseOf shapes a backend (or cached) result into the wire
+// response, stripping the memoized proof unless the caller asked for
+// one — proof-off responses stay byte-identical to pre-proof servers.
+func queryResponseOf(res store.QueryResult, withProof bool) QueryResponse {
+	resp := QueryResponse{Elements: res.Elements, Exhausted: res.Exhausted, Version: res.Version}
+	if withProof {
+		resp.Proof = res.Proof
+	}
+	return resp
 }
 
 // Remove deletes the element whose sealed payload matches exactly,

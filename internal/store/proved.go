@@ -1,0 +1,263 @@
+package store
+
+// Verifiable reads: the audit-on-demand side of the store. A list's
+// Merkle commitment (internal/proof) is materialized the first time
+// anything proved touches the list — the unproven hot path never
+// hashes — and maintained incrementally from then on: compact hashes
+// only freshly folded elements, removals splice leaves, snapshots
+// persist them. QueryProved serves the same window Query would (same
+// elements, same Exhausted, same Version) plus a proof that the
+// window is the exact ranked slice of the committed state.
+
+import (
+	"sort"
+
+	"zerberr/internal/proof"
+	"zerberr/internal/zerber"
+)
+
+// Commitment is a list's current Merkle commitment.
+type Commitment struct {
+	// Version is the mutation version the commitment was taken at.
+	Version uint64
+	// Elements is the list's total element count across all groups.
+	Elements int
+	// Content is the version-free content root: equal iff two lists
+	// hold identical elements in identical rank order, regardless of
+	// their mutation histories. Migration's differential verify
+	// compares it across a copy.
+	Content proof.Hash
+	// Root is the version-bound list root window proofs verify
+	// against: proof.ListRoot(Version, Content).
+	Root proof.Hash
+}
+
+// ensureCommittedLocked folds every group's pending buffer in and
+// materializes missing leaf hashes. Callers hold the write lock.
+func (ml *mergedList) ensureCommittedLocked() {
+	for _, g := range ml.groups {
+		g.compact()
+		if !g.hashed {
+			g.leaves = leafHashes(g.sorted)
+			g.hashed = true
+			g.rootOK = false
+		}
+	}
+}
+
+// groupRootLocked returns the group's cached Merkle root, rebuilding
+// it after mutations. Callers hold the write lock with the group
+// compacted and hashed.
+func (g *groupList) groupRootLocked() proof.Hash {
+	if !g.rootOK {
+		g.root = proof.TreeRoot(g.leaves)
+		g.rootOK = true
+	}
+	return g.root
+}
+
+// headerInfo is one non-empty group's header material, used both for
+// building response windows and for the content root.
+type headerInfo struct {
+	gid   int
+	g     *groupList
+	count int
+	root  proof.Hash
+	hh    proof.Hash
+}
+
+// commitLocked returns the list's sorted group headers plus its
+// content and list roots, reusing per-group root caches and the
+// per-version list-level cache. Callers hold the write lock with
+// every group committed (ensureCommittedLocked).
+func (ml *mergedList) commitLocked() ([]headerInfo, proof.Hash, proof.Hash) {
+	gids := make([]int, 0, len(ml.groups))
+	for gid, g := range ml.groups {
+		if len(g.sorted) == 0 {
+			continue
+		}
+		gids = append(gids, gid)
+	}
+	sort.Ints(gids)
+	headers := make([]headerInfo, len(gids))
+	entries := make([]proof.HeaderEntry, len(gids))
+	for i, gid := range gids {
+		g := ml.groups[gid]
+		root := g.groupRootLocked()
+		hh := proof.HeaderHash(gid, len(g.sorted), root)
+		headers[i] = headerInfo{gid: gid, g: g, count: len(g.sorted), root: root, hh: hh}
+		entries[i] = proof.HeaderEntry{Group: gid, HH: hh}
+	}
+	if !ml.commitOK || ml.commitVer != ml.version {
+		ml.commitContent = proof.ContentRoot(entries)
+		ml.commitRoot = proof.ListRoot(ml.version, ml.commitContent)
+		ml.commitVer = ml.version
+		ml.commitOK = true
+	}
+	return headers, ml.commitContent, ml.commitRoot
+}
+
+// QueryProved implements Backend: Query plus a window proof, built
+// atomically with the window under the list's write lock (the proof
+// must commit exactly the version the window was read at). The write
+// lock — where Query often gets away with a read lock — is the price
+// of the audit path, not of the hot one.
+func (m *Memory) QueryProved(list zerber.ListID, allowed map[int]bool, offset, count int) (QueryResult, error) {
+	if offset < 0 {
+		offset = 0
+	}
+	if count < 0 {
+		count = 0
+	}
+	ml := m.list(list, false)
+	if ml == nil {
+		return QueryResult{}, ErrUnknownList
+	}
+	ml.mu.Lock()
+	defer ml.mu.Unlock()
+	ml.ensureCommittedLocked()
+	res, cursors := ml.queryCursorsLocked(allowed, offset, count, true)
+	res.Version = ml.version
+	headers, _, listRoot := ml.commitLocked()
+	w := &proof.Window{Version: ml.version, Root: listRoot, Groups: make([]proof.GroupWindow, 0, len(headers))}
+	for _, h := range headers {
+		if allowed != nil && !allowed[h.gid] {
+			// Outside the caller's view: only the opaque header hash
+			// travels — no count, no root, no content.
+			hh := h.hh
+			w.Groups = append(w.Groups, proof.GroupWindow{Group: h.gid, Opaque: &hh})
+			continue
+		}
+		cur := cursors[h.gid]
+		root := h.root
+		gw := proof.GroupWindow{Group: h.gid, Count: h.count, Root: &root, Start: cur[0], End: cur[1]}
+		lo, hi := cur[0], cur[1]
+		if gw.Start > 0 {
+			pred := h.g.sorted[gw.Start-1]
+			gw.Pred = &proof.Boundary{TRS: pred.TRS, Sealed: pred.Sealed}
+			lo--
+		}
+		if gw.End < gw.Count {
+			succ := h.g.sorted[gw.End]
+			gw.Succ = &proof.Boundary{TRS: succ.TRS, Sealed: succ.Sealed}
+			hi++
+		}
+		gw.Path = proof.RangeProof(h.g.leaves, lo, hi)
+		w.Groups = append(w.Groups, gw)
+	}
+	res.Proof = w
+	return res, nil
+}
+
+// Commitment implements Backend. Like QueryProved it materializes the
+// list's leaves on first touch and reuses them afterwards.
+func (m *Memory) Commitment(list zerber.ListID) (Commitment, error) {
+	ml := m.list(list, false)
+	if ml == nil {
+		return Commitment{}, ErrUnknownList
+	}
+	ml.mu.Lock()
+	defer ml.mu.Unlock()
+	ml.ensureCommittedLocked()
+	_, content, root := ml.commitLocked()
+	return Commitment{Version: ml.version, Elements: ml.total, Content: content, Root: root}, nil
+}
+
+// viewCommitted is viewVersioned plus the merged window's aligned
+// leaf hashes when every group's leaves are already materialized
+// (leaves is nil otherwise — the caller persists none rather than
+// forcing a full hash of a list nobody ever audited). The snapshot
+// encoder is the caller.
+func (m *Memory) viewCommitted(list zerber.ListID, fn func(version uint64, elems []Element, leaves []proof.Hash)) error {
+	ml := m.list(list, false)
+	if ml == nil {
+		return ErrUnknownList
+	}
+	unlock := ml.lockSorted(nil)
+	defer unlock()
+	hashedAll := true
+	for _, g := range ml.groups {
+		if len(g.sorted) > 0 && !g.hashed {
+			hashedAll = false
+			break
+		}
+	}
+	if !hashedAll {
+		res := ml.queryLocked(nil, 0, ml.total+1)
+		fn(ml.version, res.Elements, nil)
+		return nil
+	}
+	elems, leaves := ml.mergedLeavesLocked()
+	fn(ml.version, elems, leaves)
+	return nil
+}
+
+// mergedLeavesLocked materializes the full merged rank order together
+// with each element's leaf hash. Callers hold the list lock with all
+// groups compacted and hashed. The merge is the same total order
+// queryLocked uses (rless), so the element order matches what a
+// leafless snapshot would have written.
+func (ml *mergedList) mergedLeavesLocked() ([]Element, []proof.Hash) {
+	runs := make([]*groupList, 0, len(ml.groups))
+	total := 0
+	for _, g := range ml.groups {
+		if len(g.sorted) == 0 {
+			continue
+		}
+		runs = append(runs, g)
+		total += len(g.sorted)
+	}
+	elems := make([]Element, 0, total)
+	leaves := make([]proof.Hash, 0, total)
+	cur := make([]int, len(runs))
+	for len(elems) < total {
+		best := -1
+		for i, g := range runs {
+			if cur[i] >= len(g.sorted) {
+				continue
+			}
+			if best < 0 || rless(g.sorted[cur[i]], runs[best].sorted[cur[best]]) {
+				best = i
+			}
+		}
+		g := runs[best]
+		elems = append(elems, g.sorted[cur[best]].Element)
+		leaves = append(leaves, g.leaves[cur[best]])
+		cur[best]++
+	}
+	return elems, leaves
+}
+
+// decodeListLeaves reinterprets a persisted leaf block (n × HashSize
+// bytes) as leaf hashes. Unlike sealed payloads the hashes are copied
+// out of the (possibly mmap-backed) region: leaf slices are spliced
+// and appended by later mutations, which must never write through to
+// a shared snapshot mapping.
+func decodeListLeaves(raw []byte, n int) []proof.Hash {
+	if len(raw) != n*proof.HashSize {
+		return nil
+	}
+	leaves := make([]proof.Hash, n)
+	for i := range leaves {
+		copy(leaves[i][:], raw[i*proof.HashSize:])
+	}
+	return leaves
+}
+
+// QueryProved implements Backend for Durable by delegating to the
+// recovered in-memory state; the commitment is maintained there and
+// persisted by the next snapshot.
+func (d *Durable) QueryProved(list zerber.ListID, allowed map[int]bool, offset, count int) (QueryResult, error) {
+	if d.closed.Load() {
+		return QueryResult{}, ErrClosed
+	}
+	return d.mem.QueryProved(list, allowed, offset, count)
+}
+
+// Commitment implements Backend for Durable.
+func (d *Durable) Commitment(list zerber.ListID) (Commitment, error) {
+	if d.closed.Load() {
+		return Commitment{}, ErrClosed
+	}
+	return d.mem.Commitment(list)
+}

@@ -11,35 +11,46 @@ import (
 	"os"
 	"path/filepath"
 
+	"zerberr/internal/proof"
 	"zerberr/internal/zerber"
 )
 
 // Snapshot format (integers are unsigned varints unless noted, floats
 // 64-bit IEEE big-endian):
 //
-//	magic "ZSNAP2" | body | crc32-IEEE(body) (4B big-endian)
+//	magic "ZSNAP3" | body | crc32-IEEE(body) (4B big-endian)
 //	body: seq | numLists |
 //	  numLists × ( listID | version | numElems |
 //	    numElems × ( group (signed varint) | trs (8B) |
-//	                 sealedLen | sealed ) )
+//	                 sealedLen | sealed ) |
+//	    leafFlag (1B: 0 or 1) |
+//	    leafFlag × ( numElems × leafHash (32B) ) )
 //
 // Elements are written in rank order, so recovery can serve queries
 // without re-sorting. seq is the last WAL sequence number the snapshot
 // contains; recovery replays only WAL records beyond it. version is
 // the list's mutation counter at snapshot time (Backend.Version):
 // persisting it keeps versions monotonic across restarts, the property
-// the query-result cache's invalidation rests on. Snapshots are
-// written to a temp file and renamed into place, so a crash mid-write
-// leaves the previous snapshot intact.
+// the query-result cache's invalidation rests on. The leaf block
+// persists the list's Merkle commitment leaves (internal/proof) in
+// the same merged rank order, present only when the live list had
+// them materialized — a restarted shard recommits without re-hashing
+// a single payload, and a list nobody ever audited pays no leaf
+// bytes. Snapshots are written to a temp file and renamed into place,
+// so a crash mid-write leaves the previous snapshot intact.
 //
-// The previous "ZSNAP1" format (identical minus the per-list version)
-// is still readable: its lists recover with version = numElems, the
-// lowest counter a live list of that size can ever have had.
+// Two older formats are still readable: "ZSNAP2" (identical minus the
+// leaf block) and "ZSNAP1" (additionally minus the per-list version;
+// its lists recover with version = numElems, the lowest counter a
+// live list of that size can ever have had).
 
-var snapMagic = []byte("ZSNAP2")
+var snapMagic = []byte("ZSNAP3")
 
-// snapMagicV1 is the pre-version snapshot format, accepted on read.
-var snapMagicV1 = []byte("ZSNAP1")
+// Older snapshot formats, accepted on read.
+var (
+	snapMagicV2 = []byte("ZSNAP2")
+	snapMagicV1 = []byte("ZSNAP1")
+)
 
 // ErrBadSnapshot reports a corrupted or truncated snapshot file.
 var ErrBadSnapshot = errors.New("store: bad snapshot")
@@ -103,11 +114,11 @@ func encodeSnapshot(f io.Writer, seq uint64, m *Memory) error {
 	var f8 [8]byte
 	for _, id := range lists {
 		var viewErr error
-		// Version and elements are read under one lock acquisition
-		// (viewVersioned), so a live export — writers active on other
-		// lists — can never pair a version with another version's
-		// content.
-		err := m.viewVersioned(id, func(version uint64, elems []Element) {
+		// Version, elements and leaves are read under one lock
+		// acquisition (viewCommitted), so a live export — writers
+		// active on other lists — can never pair a version with
+		// another version's content.
+		err := m.viewCommitted(id, func(version uint64, elems []Element, leaves []proof.Hash) {
 			if viewErr = writeUvarint(uint64(id)); viewErr != nil {
 				return
 			}
@@ -132,6 +143,18 @@ func encodeSnapshot(f io.Writer, seq uint64, m *Memory) error {
 					return
 				}
 			}
+			if leaves == nil {
+				_, viewErr = w.Write([]byte{0})
+				return
+			}
+			if _, viewErr = w.Write([]byte{1}); viewErr != nil {
+				return
+			}
+			for i := range leaves {
+				if _, viewErr = w.Write(leaves[i][:]); viewErr != nil {
+					return
+				}
+			}
 		})
 		if err != nil {
 			// The list vanished between Lists and View (unreachable
@@ -145,6 +168,9 @@ func encodeSnapshot(f io.Writer, seq uint64, m *Memory) error {
 					return err
 				}
 				if err := writeUvarint(0); err != nil {
+					return err
+				}
+				if _, err := w.Write([]byte{0}); err != nil {
 					return err
 				}
 				continue
@@ -190,22 +216,25 @@ func readSnapshot(path string, readAll bool) (seq uint64, m *Memory, _ error) {
 	return decodeSnapshot(data)
 }
 
-// decodeSnapshot parses a ZSNAP2 (or legacy ZSNAP1) dump into a fresh
-// Memory — the shared core of crash recovery and snapshot import. It
-// validates the whole dump (CRC, then per-element framing) but builds
-// no list: each list is registered lazily with its validated byte
-// region, and decoding happens on first touch. Recovery cost at open
-// is therefore one sequential scan, with zero per-element allocation.
+// decodeSnapshot parses a ZSNAP3 (or legacy ZSNAP2/ZSNAP1) dump into
+// a fresh Memory — the shared core of crash recovery and snapshot
+// import. It validates the whole dump (CRC, then per-element framing)
+// but builds no list: each list is registered lazily with its
+// validated byte region, and decoding happens on first touch.
+// Recovery cost at open is therefore one sequential scan, with zero
+// per-element allocation.
 func decodeSnapshot(data []byte) (seq uint64, m *Memory, _ error) {
 	m = NewMemory()
 	if len(data) < len(snapMagic)+4 {
 		return 0, nil, fmt.Errorf("%w: missing magic", ErrBadSnapshot)
 	}
-	hasVersions := true
+	hasVersions, hasLeaves := true, true
 	switch string(data[:len(snapMagic)]) {
 	case string(snapMagic):
+	case string(snapMagicV2):
+		hasLeaves = false
 	case string(snapMagicV1):
-		hasVersions = false
+		hasVersions, hasLeaves = false, false
 	default:
 		return 0, nil, fmt.Errorf("%w: missing magic", ErrBadSnapshot)
 	}
@@ -267,7 +296,28 @@ func decodeSnapshot(data []byte) (seq uint64, m *Memory, _ error) {
 			// safest monotone seed available.
 			version = n
 		}
-		m.loadLazy(zerber.ListID(id), body[start:rd.off], int(n), version)
+		elemRegion := body[start:rd.off]
+		var leafRegion []byte
+		if hasLeaves {
+			flag, err := rd.take(1)
+			if err != nil {
+				return 0, nil, fmt.Errorf("%w: list %d leaf flag: %v", ErrBadSnapshot, i, err)
+			}
+			switch flag[0] {
+			case 0:
+			case 1:
+				if n > uint64(rd.remaining())/proof.HashSize {
+					return 0, nil, fmt.Errorf("%w: list %d claims %d leaves with %d bytes left", ErrBadSnapshot, i, n, rd.remaining())
+				}
+				leafRegion, err = rd.take(int(n) * proof.HashSize)
+				if err != nil {
+					return 0, nil, fmt.Errorf("%w: list %d leaves: %v", ErrBadSnapshot, i, err)
+				}
+			default:
+				return 0, nil, fmt.Errorf("%w: list %d leaf flag %d", ErrBadSnapshot, i, flag[0])
+			}
+		}
+		m.loadLazy(zerber.ListID(id), elemRegion, int(n), version, leafRegion)
 	}
 	if rd.remaining() != 0 {
 		return 0, nil, fmt.Errorf("%w: %d trailing bytes", ErrBadSnapshot, rd.remaining())

@@ -26,6 +26,7 @@ import (
 	"sort"
 	"sync"
 
+	"zerberr/internal/proof"
 	"zerberr/internal/zerber"
 )
 
@@ -87,6 +88,13 @@ type QueryResult struct {
 	// so a result cache keyed by it can never mix content from two
 	// versions.
 	Version uint64
+	// Proof is the window's Merkle proof, set only by QueryProved and
+	// observed atomically with Elements and Version. Plain Query never
+	// sets it, so unproven results are byte-identical to before the
+	// commitment scheme existed. Version-keyed caches may hold proved
+	// results and serve them to unproven callers with Proof stripped —
+	// the proof memoizes for free under the same key.
+	Proof *proof.Window
 }
 
 // BatchInsert is one element of an InsertBatch call.
@@ -124,6 +132,18 @@ type Backend interface {
 	// to offset plus the size of the range, not the length of the
 	// list. offset must be non-negative and count positive.
 	Query(list zerber.ListID, allowed map[int]bool, offset, count int) (QueryResult, error)
+	// QueryProved is Query plus a Merkle window proof in the result's
+	// Proof field: inclusion and adjacency for the returned range
+	// against the list's committed root at the result's version. It is
+	// the audit path, deliberately off the hot one — the first proved
+	// read of a list hashes its elements into leaves; later reads
+	// reuse them incrementally.
+	QueryProved(list zerber.ListID, allowed map[int]bool, offset, count int) (QueryResult, error)
+	// Commitment reports the list's current Merkle commitment — the
+	// version-free content root (cross-instance identity checks, e.g.
+	// migration's differential verify) and the version-bound list root
+	// proofs verify against. Unknown lists are ErrUnknownList.
+	Commitment(list zerber.ListID) (Commitment, error)
 	// Version reports the list's mutation version: a per-list counter,
 	// monotonic within a backend instance, bumped by every content
 	// change (insert or successful remove). The durable backend
@@ -243,12 +263,32 @@ type mergedList struct {
 	// Reads report it so ranged windows can be cached under a key that
 	// a later mutation transparently invalidates.
 	version uint64
+	// commitVer/commitOK cache the list-level commitment (content and
+	// list root) for one version; a version bump is the invalidation,
+	// exactly as for cached query windows.
+	commitVer     uint64
+	commitOK      bool
+	commitContent proof.Hash
+	commitRoot    proof.Hash
 }
 
 // groupList is one group's slice of a merged list.
 type groupList struct {
 	sorted  []relem // rless-ordered
 	pending []relem // unsorted recent inserts, folded in on read
+	// leaves mirrors sorted with each element's commitment leaf hash
+	// (see internal/proof). It stays unmaterialized (hashed false)
+	// until the list's first proved read or commitment — audit on
+	// demand, the unproven hot path never hashes — and is maintained
+	// incrementally from then on: compact hashes only the pending
+	// tail, removals splice, snapshots persist the hashes so recovery
+	// recommits without re-hashing.
+	leaves []proof.Hash
+	hashed bool
+	// root caches the Merkle root over leaves; rootOK is dropped by
+	// any mutation of sorted.
+	root   proof.Hash
+	rootOK bool
 }
 
 // dirty reports whether a read of this group must first fold the
@@ -256,32 +296,64 @@ type groupList struct {
 func (g *groupList) dirty() bool { return len(g.pending) > 0 }
 
 // compact folds the pending buffer into the sorted run. Callers hold
-// the list's write lock.
+// the list's write lock. When the group's leaves are materialized the
+// merge carries them along, hashing only the pending tail — the
+// incremental maintenance that keeps commitments cheap at fold time.
 func (g *groupList) compact() {
 	if len(g.pending) == 0 {
 		return
 	}
+	g.rootOK = false
 	sort.Slice(g.pending, func(i, j int) bool { return rless(g.pending[i], g.pending[j]) })
 	if len(g.sorted) == 0 {
 		g.sorted = g.pending
 		g.pending = nil
+		if g.hashed {
+			g.leaves = leafHashes(g.sorted)
+		}
 		return
 	}
 	merged := make([]relem, 0, len(g.sorted)+len(g.pending))
+	var mleaves []proof.Hash
+	if g.hashed {
+		mleaves = make([]proof.Hash, 0, cap(merged))
+	}
 	i, j := 0, 0
 	for i < len(g.sorted) && j < len(g.pending) {
 		if rless(g.pending[j], g.sorted[i]) {
 			merged = append(merged, g.pending[j])
+			if g.hashed {
+				mleaves = append(mleaves, proof.LeafHash(g.pending[j].TRS, g.pending[j].Sealed))
+			}
 			j++
 		} else {
 			merged = append(merged, g.sorted[i])
+			if g.hashed {
+				mleaves = append(mleaves, g.leaves[i])
+			}
 			i++
 		}
+	}
+	if g.hashed {
+		mleaves = append(mleaves, g.leaves[i:]...)
+		for _, r := range g.pending[j:] {
+			mleaves = append(mleaves, proof.LeafHash(r.TRS, r.Sealed))
+		}
+		g.leaves = mleaves
 	}
 	merged = append(merged, g.sorted[i:]...)
 	merged = append(merged, g.pending[j:]...)
 	g.sorted = merged
 	g.pending = nil
+}
+
+// leafHashes commits every element of a sorted run.
+func leafHashes(run []relem) []proof.Hash {
+	leaves := make([]proof.Hash, len(run))
+	for i, r := range run {
+		leaves[i] = proof.LeafHash(r.TRS, r.Sealed)
+	}
+	return leaves
 }
 
 // lazyList is a snapshot-loaded list awaiting first use: raw is its
@@ -294,6 +366,10 @@ type lazyList struct {
 	raw     []byte
 	count   int
 	version uint64
+	// rawLeaves is the snapshot's persisted leaf-hash block (count ×
+	// HashSize bytes, merged rank order), nil when the snapshot was
+	// written before the list's commitment ever materialized.
+	rawLeaves []byte
 }
 
 // NewMemory creates an empty in-memory backend.
@@ -344,7 +420,7 @@ func (m *Memory) list(id zerber.ListID, create bool) *mergedList {
 // lists.
 func (m *Memory) materialize(id zerber.ListID, lz *lazyList) *mergedList {
 	lz.once.Do(func() {
-		lz.ml = newMergedListFrom(decodeListElements(lz.raw, lz.count), true, lz.version)
+		lz.ml = newMergedListFrom(decodeListElements(lz.raw, lz.count), true, lz.version, decodeListLeaves(lz.rawLeaves, lz.count))
 		m.mu.Lock()
 		// Publish only if this lazy entry still owns the slot: an
 		// ImportSnapshot may have swapped the maps mid-decode, and the
@@ -357,15 +433,17 @@ func (m *Memory) materialize(id zerber.ListID, lz *lazyList) *mergedList {
 		}
 		m.mu.Unlock()
 		lz.raw = nil
+		lz.rawLeaves = nil
 	})
 	return lz.ml
 }
 
 // loadLazy registers a snapshot list region for deferred decoding
-// (snapshot recovery and import).
-func (m *Memory) loadLazy(id zerber.ListID, raw []byte, count int, version uint64) {
+// (snapshot recovery and import). rawLeaves, when non-nil, is the
+// persisted leaf-hash block the materialized list recommits from.
+func (m *Memory) loadLazy(id zerber.ListID, raw []byte, count int, version uint64, rawLeaves []byte) {
 	m.mu.Lock()
-	m.lazy[id] = &lazyList{raw: raw, count: count, version: version}
+	m.lazy[id] = &lazyList{raw: raw, count: count, version: version, rawLeaves: rawLeaves}
 	m.mu.Unlock()
 }
 
@@ -467,6 +545,10 @@ func (m *Memory) remove(list zerber.ListID, sealed []byte, allow func(group int)
 		bestG.pending = append(bestG.pending[:bestIdx], bestG.pending[bestIdx+1:]...)
 	} else {
 		bestG.sorted = append(bestG.sorted[:bestIdx], bestG.sorted[bestIdx+1:]...)
+		if bestG.hashed {
+			bestG.leaves = append(bestG.leaves[:bestIdx], bestG.leaves[bestIdx+1:]...)
+		}
+		bestG.rootOK = false
 	}
 	ml.total--
 	ml.version++
@@ -541,7 +623,18 @@ func (m *Memory) Version(list zerber.ListID) (uint64, error) {
 // queryLocked answers a ranged read over the allowed groups' sorted
 // runs. Callers hold the list lock with those runs compacted.
 func (ml *mergedList) queryLocked(allowed map[int]bool, offset, count int) QueryResult {
+	res, _ := ml.queryCursorsLocked(allowed, offset, count, false)
+	return res
+}
+
+// queryCursorsLocked is queryLocked plus, when withCursors is set,
+// the per-group committed position range [start, end) the window
+// occupies in each allowed non-empty group — exactly what a window
+// proof commits to. Cursor capture rides the query's own skip and
+// merge, so proving adds no second pass over the runs.
+func (ml *mergedList) queryCursorsLocked(allowed map[int]bool, offset, count int, withCursors bool) (QueryResult, map[int][2]int) {
 	var lists [][]relem
+	var gids []int
 	visible := 0
 	for gid, g := range ml.groups {
 		if allowed != nil && !allowed[gid] {
@@ -551,14 +644,25 @@ func (ml *mergedList) queryLocked(allowed map[int]bool, offset, count int) Query
 			continue
 		}
 		lists = append(lists, g.sorted)
+		gids = append(gids, gid)
 		visible += len(g.sorted)
+	}
+	var cursors map[int][2]int
+	if withCursors {
+		cursors = make(map[int][2]int, len(lists))
 	}
 	// Exhausted iff at most count visible elements remain past offset.
 	// Phrased as a subtraction (both operands are bounded by stored
 	// sizes) so a huge wire-supplied count cannot overflow offset+count.
 	res := QueryResult{Exhausted: visible-offset <= count}
 	if offset >= visible {
-		return res
+		// The whole filtered view sits inside the skipped prefix.
+		if withCursors {
+			for i, run := range lists {
+				cursors[gids[i]] = [2]int{len(run), len(run)}
+			}
+		}
+		return res, cursors
 	}
 	n := min(count, visible-offset)
 	if len(lists) == 1 {
@@ -568,13 +672,20 @@ func (ml *mergedList) queryLocked(allowed map[int]bool, offset, count int) Query
 		for i := range res.Elements {
 			res.Elements[i] = run[offset+i].Element
 		}
-		return res
+		if withCursors {
+			cursors[gids[0]] = [2]int{offset, offset + n}
+		}
+		return res, cursors
 	}
 	// Skip the cursors straight to the offset cut, then merge only the
 	// window: each output element costs one k-wide minimum scan and a
 	// single copy (payloads are aliased, never duplicated).
 	cur := make([]int, len(lists))
 	skipMerged(lists, cur, offset)
+	var starts []int
+	if withCursors {
+		starts = append([]int(nil), cur...)
+	}
 	res.Elements = make([]Element, 0, n)
 	for len(res.Elements) < n {
 		best := -1
@@ -592,7 +703,12 @@ func (ml *mergedList) queryLocked(allowed map[int]bool, offset, count int) Query
 		res.Elements = append(res.Elements, lists[best][cur[best]].Element)
 		cur[best]++
 	}
-	return res
+	if withCursors {
+		for i := range lists {
+			cursors[gids[i]] = [2]int{starts[i], cur[i]}
+		}
+	}
+	return res, cursors
 }
 
 // skipMerged advances the cursors past the first skip elements of the
@@ -741,7 +857,7 @@ func (m *Memory) Close() error { return nil }
 // counter could re-reach an old version with different content,
 // validating stale cached windows).
 func (m *Memory) load(list zerber.ListID, elems []Element, sorted bool, version uint64) {
-	ml := newMergedListFrom(elems, sorted, version)
+	ml := newMergedListFrom(elems, sorted, version, nil)
 	m.mu.Lock()
 	m.lists[list] = ml
 	delete(m.lazy, list)
@@ -749,13 +865,19 @@ func (m *Memory) load(list zerber.ListID, elems []Element, sorted bool, version 
 }
 
 // newMergedListFrom builds a merged list from a slice of elements —
-// the shared core of load and lazy materialization.
-func newMergedListFrom(elems []Element, sorted bool, version uint64) *mergedList {
+// the shared core of load and lazy materialization. leaves, when
+// non-nil, carries elems' persisted commitment leaf hashes (aligned
+// with elems; requires sorted) and is distributed to the groups so
+// the recovered list recommits without re-hashing a single payload.
+func newMergedListFrom(elems []Element, sorted bool, version uint64, leaves []proof.Hash) *mergedList {
 	ml := &mergedList{groups: make(map[int]*groupList), version: version}
-	for _, el := range elems {
+	if !sorted || len(leaves) != len(elems) {
+		leaves = nil
+	}
+	for i, el := range elems {
 		g := ml.groups[el.Group]
 		if g == nil {
-			g = &groupList{}
+			g = &groupList{hashed: leaves != nil}
 			ml.groups[el.Group] = g
 		}
 		r := relem{Element: el, seq: ml.nextSeq}
@@ -763,6 +885,9 @@ func newMergedListFrom(elems []Element, sorted bool, version uint64) *mergedList
 			// A group's subsequence of a rank-sorted slice is itself
 			// sorted under rless (sequences ascend with slice order).
 			g.sorted = append(g.sorted, r)
+			if leaves != nil {
+				g.leaves = append(g.leaves, leaves[i])
+			}
 		} else {
 			g.pending = append(g.pending, r)
 		}
