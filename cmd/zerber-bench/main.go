@@ -1,13 +1,21 @@
-// Command zerber-bench regenerates the paper's evaluation artifacts:
-// every figure of the EDBT 2009 Zerber+R paper plus the extension
-// experiments documented in DESIGN.md.
+// Command zerber-bench runs the repo's registered experiments: every
+// figure of the EDBT 2009 Zerber+R paper, the extension experiments
+// documented in DESIGN.md, and the soak/chaos scenario.
 //
 // Usage:
 //
 //	zerber-bench -list
 //	zerber-bench -run fig11 [-scale 1] [-seed 1] [-csv results/]
 //	zerber-bench -run all -scale 0.5
+//	zerber-bench -soak -soak-duration 60s -soak-shards 2 -soak-replicas 2
 //	zerber-bench -json [-replicas 3] [-fsync-each] > BENCH_8.json
+//
+// Experiments are resolved against the internal/bench registry: -list
+// prints every registered name with its one-line description, unknown
+// -run IDs fail listing the available names, and `-run all` runs every
+// non-manual experiment. The soak scenario is manual (it boots real
+// zerberd processes and runs for a configured wall-clock duration), so
+// it only runs when asked for by name or via -soak.
 //
 // Scale 1 is the laptop default; the paper-sized collections are
 // roughly -scale 4 (Stud IP) and -scale 30 (ODP).
@@ -20,18 +28,22 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
-	"path/filepath"
+	"os/signal"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
-	"zerberr/internal/experiments"
+	"zerberr/internal/bench"
 	"zerberr/internal/microbench"
+	"zerberr/internal/soak"
+	"zerberr/internal/workload"
 )
 
 // logger keeps progress on stderr (structured), leaving stdout to the
@@ -46,25 +58,38 @@ func fatal(msg string, args ...any) {
 
 func main() {
 	var (
-		list      = flag.Bool("list", false, "list experiment IDs and exit")
-		run       = flag.String("run", "all", "experiment ID to run, or 'all'")
-		scale     = flag.Float64("scale", 1, "corpus scale factor (1 = laptop default)")
-		seed      = flag.Uint64("seed", 1, "deterministic seed")
-		csvDir    = flag.String("csv", "", "also write per-experiment CSV files into this directory")
-		quiet     = flag.Bool("q", false, "suppress progress logging")
-		batched   = flag.Bool("batched", false, "drive search-timing loops over the batched v2 protocol (the bandwidth experiment always reports serial-vs-batched round-trips)")
-		jsonMode  = flag.Bool("json", false, "run the key micro-benchmarks and print one JSON line per benchmark (the BENCH_*.json snapshot format)")
+		list     = flag.Bool("list", false, "list registered experiments and exit")
+		run      = flag.String("run", "all", "comma-separated experiment names to run, or 'all' (every non-manual experiment)")
+		scale    = flag.Float64("scale", 1, "corpus scale factor (1 = laptop default)")
+		seed     = flag.Uint64("seed", 1, "deterministic seed")
+		csvDir   = flag.String("csv", "", "also write per-experiment CSV files into this directory")
+		quiet    = flag.Bool("q", false, "suppress progress logging")
+		batched  = flag.Bool("batched", false, "drive search-timing loops over the batched v2 protocol (the bandwidth experiment always reports serial-vs-batched round-trips)")
+		jsonMode = flag.Bool("json", false, "run the key micro-benchmarks and print one JSON line per benchmark (the BENCH_*.json snapshot format)")
+
+		// Micro-benchmark knobs (-json mode).
 		replicas  = flag.Int("replicas", 2, "members per replica set (primary + N-1 replicas) in the HedgedQuery micro-benchmarks")
 		fsyncEach = flag.Bool("fsync-each", false, "run the write micro-benchmarks (StoreAppend, StoreAppendParallel) with an fsync per commit, measuring the real-disk durability cost group commit amortizes")
+
+		// Soak/chaos knobs (the soak experiment; -soak ≡ -run soak).
+		soakMode      = flag.Bool("soak", false, "run the soak/chaos scenario (shorthand for -run soak)")
+		soakBinary    = flag.String("soak-zerberd", "", "zerberd binary to boot (default: build it into the soak work dir)")
+		soakDir       = flag.String("soak-dir", "", "soak work directory (default: a temp dir)")
+		soakShards    = flag.Int("soak-shards", 2, "routing slots in the soak cluster")
+		soakReplicas  = flag.Int("soak-replicas", 2, "members per soak replica set (primary included)")
+		soakWorkers   = flag.Int("soak-workers", 4, "concurrent load-generator clients")
+		soakDuration  = flag.Duration("soak-duration", 60*time.Second, "soak wall-clock bound")
+		soakOps       = flag.Uint64("soak-ops", 0, "optional op-count bound (0 = duration only)")
+		soakUsers     = flag.Int("soak-users", 1_000_000, "simulated zipfian user population")
+		soakFaults    = flag.Duration("soak-fault-every", 5*time.Second, "pause between fault injections (0 disables chaos)")
+		soakDowntime  = flag.Duration("soak-downtime", 500*time.Millisecond, "how long a SIGKILLed member stays down")
+		soakBudget    = flag.Float64("soak-error-budget", 0.10, "tolerated failed-operation fraction")
+		soakDocs      = flag.Int("soak-docs", 300, "bootstrap corpus size (documents)")
+		soakProof     = flag.Uint64("soak-proof-every", 16, "ask every Nth search for a Merkle proof (0 disables)")
+		soakReportOut = flag.String("soak-report", "", "also write the one-line JSON soak report to this file")
 	)
 	flag.Parse()
 
-	if *list {
-		for _, id := range experiments.IDs() {
-			fmt.Println(id)
-		}
-		return
-	}
 	if *jsonMode {
 		microbench.SetReplicaMembers(*replicas)
 		microbench.SetWriteFsync(*fsyncEach)
@@ -72,37 +97,103 @@ func main() {
 		return
 	}
 
-	env := experiments.NewEnv(*scale, *seed)
-	env.Batched = *batched
+	reg := bench.Default()
+	reg.MustRegister(bench.Experiment{
+		Name:   "soak",
+		Doc:    "soak/chaos: boot a real sharded+replicated zerberd cluster, drive zipfian users, SIGKILL/restart/migrate, assert identity+epoch+proof invariants",
+		Manual: true,
+		Run: func(ctx context.Context, env *bench.Env) ([]bench.Row, error) {
+			return runSoak(ctx, env, soakFlags{
+				binary:      *soakBinary,
+				dir:         *soakDir,
+				shards:      *soakShards,
+				replicas:    *soakReplicas,
+				workers:     *soakWorkers,
+				duration:    *soakDuration,
+				maxOps:      *soakOps,
+				users:       *soakUsers,
+				faultEvery:  *soakFaults,
+				downtime:    *soakDowntime,
+				errorBudget: *soakBudget,
+				docs:        *soakDocs,
+				proofEvery:  *soakProof,
+				reportPath:  *soakReportOut,
+			})
+		},
+	})
+
+	if *list {
+		for _, e := range reg.All() {
+			manual := ""
+			if e.Manual {
+				manual = " (manual)"
+			}
+			fmt.Printf("%-12s %s%s\n", e.Name, e.Doc, manual)
+		}
+		return
+	}
+
+	env := &bench.Env{
+		Scale:   *scale,
+		Seed:    *seed,
+		Batched: *batched,
+		Out:     os.Stdout,
+		CSVDir:  *csvDir,
+	}
 	if !*quiet {
 		env.Logf = func(format string, args ...interface{}) {
 			logger.Info(fmt.Sprintf(format, args...))
 		}
 	}
 
-	ids := experiments.IDs()
-	if *run != "all" {
-		ids = strings.Split(*run, ",")
-	}
-	for _, id := range ids {
-		start := time.Now()
-		res, err := experiments.Run(strings.TrimSpace(id), env)
+	var selected []bench.Experiment
+	switch {
+	case *soakMode:
+		e, err := reg.Lookup("soak")
 		if err != nil {
-			fatal("experiment failed", "id", id, "err", err)
+			fatal("resolving soak experiment", "err", err)
 		}
-		fmt.Println(res.Render())
+		selected = []bench.Experiment{e}
+	case *run == "all":
+		for _, e := range reg.All() {
+			if !e.Manual {
+				selected = append(selected, e)
+			}
+		}
+	default:
+		for _, name := range strings.Split(*run, ",") {
+			e, err := reg.Lookup(strings.TrimSpace(name))
+			if err != nil {
+				fatal("unknown experiment", "err", err)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	failed := false
+	for _, e := range selected {
+		start := time.Now()
+		rows, err := e.Run(ctx, env)
+		if err != nil {
+			fatal("experiment failed", "name", e.Name, "err", err)
+		}
+		for _, row := range rows {
+			// Rows are the scrapeable summary; FAILED rows (Value 0 on
+			// an "ok" unit) flip the exit code below.
+			fmt.Printf("%-40s %12.3f %s\n", row.Name, row.Value, row.Unit)
+			if row.Unit == "ok" && row.Value == 0 {
+				failed = true
+			}
+		}
 		if !*quiet {
-			logger.Info("experiment finished", "id", id, "elapsed", time.Since(start).Round(time.Millisecond))
+			logger.Info("experiment finished", "name", e.Name, "elapsed", time.Since(start).Round(time.Millisecond))
 		}
-		if *csvDir != "" {
-			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-				fatal("creating CSV directory failed", "dir", *csvDir, "err", err)
-			}
-			path := filepath.Join(*csvDir, res.ID+".csv")
-			if err := os.WriteFile(path, []byte(res.CSV()), 0o644); err != nil {
-				fatal("writing CSV failed", "path", path, "err", err)
-			}
-		}
+	}
+	if failed {
+		os.Exit(1)
 	}
 }
 
@@ -140,4 +231,81 @@ func runMicrobenchJSON(quiet bool) {
 			fatal("encoding benchmark line failed", "err", err)
 		}
 	}
+}
+
+// soakFlags carries the -soak-* flag values into the soak experiment.
+type soakFlags struct {
+	binary, dir          string
+	shards, replicas     int
+	workers              int
+	duration             time.Duration
+	maxOps               uint64
+	users                int
+	faultEvery, downtime time.Duration
+	errorBudget          float64
+	docs                 int
+	proofEvery           uint64
+	reportPath           string
+}
+
+// runSoak executes the soak scenario: resolve (or build) the zerberd
+// binary, run internal/soak, write the report, and summarize the key
+// counters as registry rows, ending with "<ok> ok" that the CLI turns
+// into the exit code.
+func runSoak(ctx context.Context, env *bench.Env, f soakFlags) ([]bench.Row, error) {
+	cfg := soak.DefaultConfig()
+	cfg.ZerberdPath = f.binary
+	cfg.Dir = f.dir
+	cfg.Shards = f.shards
+	cfg.Replicas = f.replicas
+	cfg.Workers = f.workers
+	cfg.Duration = f.duration
+	cfg.MaxOps = f.maxOps
+	cfg.Seed = env.Seed
+	cfg.Stream = workload.StreamConfig{Users: f.users}
+	cfg.FaultEvery = f.faultEvery
+	cfg.FaultDowntime = f.downtime
+	cfg.ErrorBudget = f.errorBudget
+	cfg.CorpusDocs = f.docs
+	cfg.ProofEvery = f.proofEvery
+	if env.Logf != nil {
+		cfg.Logf = env.Logf
+	}
+
+	if cfg.ZerberdPath == "" {
+		path, cleanup, err := soak.BuildZerberd(ctx, cfg.Dir)
+		if err != nil {
+			return nil, fmt.Errorf("building zerberd (pass -soak-zerberd to skip): %w", err)
+		}
+		defer cleanup()
+		cfg.ZerberdPath = path
+	}
+
+	rep, err := soak.Run(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	line := rep.JSON()
+	fmt.Fprintln(os.Stdout, line)
+	if f.reportPath != "" {
+		if err := os.WriteFile(f.reportPath, []byte(line+"\n"), 0o644); err != nil {
+			return nil, fmt.Errorf("writing soak report: %w", err)
+		}
+	}
+
+	okVal := 0.0
+	if rep.OK {
+		okVal = 1
+	}
+	return []bench.Row{
+		{Name: "soak.ops", Value: float64(rep.Ops), Unit: "ops"},
+		{Name: "soak.error_rate", Value: rep.ErrorRate, Unit: "fraction"},
+		{Name: "soak.search_p99", Value: rep.SearchP99Ms, Unit: "ms"},
+		{Name: "soak.kills", Value: float64(rep.PrimaryKills + rep.ReplicaKills), Unit: "faults"},
+		{Name: "soak.migrations", Value: float64(rep.Migrations), Unit: "faults"},
+		{Name: "soak.identity_violations", Value: float64(rep.IdentityViolations), Unit: "violations"},
+		{Name: "soak.epoch_violations", Value: float64(rep.EpochViolations), Unit: "violations"},
+		{Name: "soak.proof_violations", Value: float64(rep.ProofViolations), Unit: "violations"},
+		{Name: "soak.ok", Value: okVal, Unit: "ok"},
+	}, nil
 }

@@ -98,6 +98,21 @@
 // never carry term, list or user identity, so observability adds no
 // leakage beyond the paper's threat model. See DESIGN.md "Ops plane".
 //
+// All of those claims are exercised together, not just in unit
+// isolation, by a soak/chaos harness (internal/soak, `zerber-bench
+// -soak`): it boots a real sharded, replicated cluster of zerberd
+// processes, drives it with a deterministic million-user zipfian
+// workload (internal/workload), SIGKILLs members mid-WAL, restarts
+// them, and live-migrates shards — while continuously asserting that
+// post-recovery answers are element-identical to a shadow oracle of
+// acknowledged writes, that no (list, version) window is ever served
+// with two different contents, that opted-in proofs never fail
+// verification, and that the error rate stays within budget. Every
+// runnable artifact — paper figures, extension experiments, the soak
+// scenario — registers in the internal/bench registry that
+// cmd/zerber-bench resolves -run names against. See DESIGN.md "Soak &
+// chaos".
+//
 // The package root offers the high-level System façade used by the
 // examples, the CLI tools and the experiment harness; the internal
 // packages are the building blocks a downstream system would embed.

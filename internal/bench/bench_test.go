@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"zerberr/internal/experiments"
+)
+
+func TestRegistryRegisterAndLookup(t *testing.T) {
+	r := NewRegistry()
+	run := func(context.Context, *Env) ([]Row, error) { return nil, nil }
+	if err := r.Register(Experiment{Name: "a", Doc: "first", Run: run}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(Experiment{Name: "b", Doc: "second", Run: run}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(Experiment{Name: "a", Run: run}); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if err := r.Register(Experiment{Name: "", Run: run}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := r.Register(Experiment{Name: "norun"}); err == nil {
+		t.Fatal("nil Run accepted")
+	}
+	if got := r.Names(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("Names() = %v, want registration order [a b]", got)
+	}
+	e, err := r.Lookup("b")
+	if err != nil || e.Doc != "second" {
+		t.Fatalf("Lookup(b) = %+v, %v", e, err)
+	}
+}
+
+func TestRegistryUnknownNameListsAvailable(t *testing.T) {
+	r := NewRegistry()
+	run := func(context.Context, *Env) ([]Row, error) { return nil, nil }
+	r.MustRegister(Experiment{Name: "fig04", Run: run})
+	r.MustRegister(Experiment{Name: "soak", Run: run})
+	_, err := r.Lookup("fig99")
+	if err == nil {
+		t.Fatal("unknown experiment did not error")
+	}
+	for _, want := range []string{"fig99", "fig04", "soak"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("unknown-name error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestDefaultRegistryCoversPaperSuite(t *testing.T) {
+	r := Default()
+	names := r.Names()
+	if !reflect.DeepEqual(names, experiments.IDs()) {
+		t.Fatalf("Default() names %v != experiments.IDs() %v", names, experiments.IDs())
+	}
+	for _, e := range r.All() {
+		if e.Doc == "" {
+			t.Fatalf("experiment %q has no doc line", e.Name)
+		}
+		if e.Manual {
+			t.Fatalf("paper experiment %q is Manual; only the soak scenario should be", e.Name)
+		}
+	}
+}
+
+func TestPaperExperimentRendersAndWritesCSV(t *testing.T) {
+	r := Default()
+	e, err := r.Lookup("fig07")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	dir := t.TempDir()
+	env := &Env{Scale: 1, Seed: 1, Out: &out, CSVDir: dir}
+	rows, err := e.Run(context.Background(), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "fig07") {
+		t.Fatalf("rendered output does not mention the experiment: %q", out.String())
+	}
+	if len(rows) == 0 {
+		t.Fatal("paper experiment returned no rows")
+	}
+	for _, row := range rows {
+		if !strings.HasPrefix(row.Name, "fig07.") || row.Value <= 0 {
+			t.Fatalf("unexpected row %+v", row)
+		}
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "fig07.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(csv) == 0 {
+		t.Fatal("empty CSV written")
+	}
+}
+
+func TestPaperExperimentHonorsCanceledContext(t *testing.T) {
+	r := Default()
+	e, err := r.Lookup("fig07")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Run(ctx, &Env{Scale: 1, Seed: 1}); err == nil {
+		t.Fatal("canceled context did not stop the experiment")
+	}
+}

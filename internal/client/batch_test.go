@@ -33,7 +33,7 @@ func TestSearchBatchedMatchesSerial(t *testing.T) {
 		// Per-term serial costs, to predict the batched accounting.
 		maxRounds, sumRequests := 0, 0
 		for _, term := range q {
-			_, st, err := h.cl.TopK(term, 10)
+			_, st, err := h.cl.Search(context.Background(), []corpus.TermID{term}, 10, WithSerial())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -43,7 +43,7 @@ func TestSearchBatchedMatchesSerial(t *testing.T) {
 			sumRequests += st.Requests
 		}
 
-		serialRes, serialStats, err := h.cl.SearchSerial(q, 10)
+		serialRes, serialStats, err := h.cl.Search(context.Background(), q, 10, WithSerial())
 		if err != nil {
 			t.Fatal(err)
 		}

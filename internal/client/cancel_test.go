@@ -275,10 +275,10 @@ func TestSearchBadQuery(t *testing.T) {
 			t.Errorf("%s: Search err = %v, want ErrBadQuery", tc.name, err)
 		}
 	}
-	if _, _, err := h.cl.TopK(term, 0); !errors.Is(err, ErrBadQuery) {
+	if _, _, err := h.cl.Search(context.Background(), []corpus.TermID{term}, 0, WithSerial()); !errors.Is(err, ErrBadQuery) {
 		t.Errorf("TopK k=0 err = %v, want ErrBadQuery", err)
 	}
-	if _, _, err := h.cl.SearchSerial(nil, 10); !errors.Is(err, ErrBadQuery) {
+	if _, _, err := h.cl.Search(context.Background(), nil, 10, WithSerial()); !errors.Is(err, ErrBadQuery) {
 		t.Errorf("SearchSerial nil terms err = %v, want ErrBadQuery", err)
 	}
 }

@@ -28,7 +28,7 @@ func TestSearchDeduplicatesTerms(t *testing.T) {
 			return r, st, err
 		}},
 		{"serial", func(q []corpus.TermID, k int) (interface{}, QueryStats, error) {
-			r, st, err := h.cl.SearchSerial(q, k)
+			r, st, err := h.cl.Search(context.Background(), q, k, WithSerial())
 			return r, st, err
 		}},
 	} {
@@ -60,7 +60,7 @@ func TestSerialQueryBytesMeasuredOverHTTP(t *testing.T) {
 	h := newHarness(t, crypt.GCMCodec{}, 45)
 	term := h.c.TermsByDF()[0]
 
-	_, localStats, err := h.cl.TopK(term, 10)
+	_, localStats, err := h.cl.Search(context.Background(), []corpus.TermID{term}, 10, WithSerial())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestSerialQueryBytesMeasuredOverHTTP(t *testing.T) {
 	if err := remote.Login(context.Background(), "writer"); err != nil {
 		t.Fatal(err)
 	}
-	_, httpStats, err := remote.TopK(term, 10)
+	_, httpStats, err := remote.Search(context.Background(), []corpus.TermID{term}, 10, WithSerial())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -313,28 +313,3 @@ func snapshot(scans []*termScan, k int, total *QueryStats) (Snapshot, bool) {
 	}
 	return snap, done
 }
-
-// TopK answers a single-term top-k query with the default initial
-// response size over the serial v1 path.
-//
-// Deprecated: use Search with a one-term slice (add WithSerial to
-// keep the v1 request accounting).
-func (c *Client) TopK(term corpus.TermID, k int) ([]rank.Result, QueryStats, error) {
-	return c.Search(context.Background(), []corpus.TermID{term}, k, WithSerial())
-}
-
-// TopKWithInitial answers a single-term top-k query with an explicit
-// initial response size b over the serial v1 path.
-//
-// Deprecated: use Search with WithInitialResponse (and WithSerial for
-// v1 request accounting).
-func (c *Client) TopKWithInitial(term corpus.TermID, k, b int) ([]rank.Result, QueryStats, error) {
-	return c.Search(context.Background(), []corpus.TermID{term}, k, WithSerial(), WithInitialResponse(b))
-}
-
-// SearchSerial answers a multi-term query over the serial v1 path.
-//
-// Deprecated: use Search with WithSerial.
-func (c *Client) SearchSerial(terms []corpus.TermID, k int) ([]rank.Result, QueryStats, error) {
-	return c.Search(context.Background(), terms, k, WithSerial())
-}

@@ -161,7 +161,7 @@ func TestClusterSearchBatchedMatchesSerial(t *testing.T) {
 	terms := h.c.TermsByDF()
 	q := []corpus.TermID{terms[0], terms[20], terms[150]}
 
-	serialRes, serialStats, err := h.cl.SearchSerial(q, 10)
+	serialRes, serialStats, err := h.cl.Search(context.Background(), q, 10, client.WithSerial())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -201,6 +201,28 @@ var registry = map[string]Runner{
 	"ablation":  Ablations,
 }
 
+// docs gives each experiment a one-line description without having
+// to run it (Result.Title is only known after the fact, and some
+// titles embed generated data).
+var docs = map[string]string{
+	"fig04":     "Figure 4: log-log plot of TF distributions",
+	"fig05":     "Figure 5: log-log plot of normalized TF distributions",
+	"fig07":     "Figure 7: probability distribution from 5 training values",
+	"fig08":     "Figure 8: example RSTF for a sampled term",
+	"fig09":     "Figure 9: TRS variance vs sigma",
+	"fig10":     "Figure 10: cumulative top-10 workload vs query-term rank",
+	"fig11":     "Figure 11: average bandwidth overhead vs initial response size",
+	"fig12":     "Figure 12: average number of requests vs initial response size",
+	"fig13":     "Figure 13: efficiency in query answering (k=10)",
+	"bandwidth": "Section 6.6: network bandwidth and throughput (ODP)",
+	"accuracy":  "Ext-A: multi-term ranking accuracy (top-10 overlap, Stud IP)",
+	"attacks":   "Ext-B: adversary simulations (Definition 1 quantified)",
+	"ablation":  "Ext-C: ablations of design choices",
+}
+
+// Doc returns the experiment's one-line description.
+func Doc(id string) string { return docs[id] }
+
 // IDs lists all experiment IDs in run order.
 func IDs() []string {
 	out := make([]string, 0, len(registry))

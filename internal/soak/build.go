@@ -1,0 +1,34 @@
+package soak
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// BuildZerberd compiles the repo's zerberd into dir (a temp dir when
+// empty) and returns the binary path plus a cleanup func. The soak
+// harness needs a real executable to SIGKILL; callers that already
+// have one (CI builds it once) pass it via Config.ZerberdPath instead.
+func BuildZerberd(ctx context.Context, dir string) (path string, cleanup func(), err error) {
+	cleanup = func() {}
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "zerberd-bin-*")
+		if err != nil {
+			return "", cleanup, err
+		}
+		dir = tmp
+		cleanup = func() { os.RemoveAll(tmp) }
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", cleanup, err
+	}
+	path = filepath.Join(dir, "zerberd")
+	cmd := exec.CommandContext(ctx, "go", "build", "-o", path, "zerberr/cmd/zerberd")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		cleanup()
+		return "", func() {}, fmt.Errorf("soak: go build zerberd: %v: %s", err, out)
+	}
+	return path, cleanup, nil
+}

@@ -1,0 +1,174 @@
+package soak
+
+import (
+	"fmt"
+	"sync"
+
+	"zerberr/internal/zerber"
+)
+
+// entryState tracks one sealed element's acknowledged fate.
+type entryState uint8
+
+const (
+	// statePresent: the cluster acknowledged the insert (and no
+	// acknowledged remove followed). The element MUST be served.
+	statePresent entryState = iota
+	// stateUncertainInsert: an insert errored in a way that does not
+	// prove it was rejected (fault mid-call, timeout, shard down). The
+	// element MAY be present.
+	stateUncertainInsert
+	// stateUncertainRemove: a remove of a previously present element
+	// errored ambiguously. The element MAY still be present.
+	stateUncertainRemove
+)
+
+// oracle is the shadow of every write the soak run issued: per merged
+// list, the sealed bytes the cluster acknowledged (present) or might
+// hold (uncertain). The identity check compares cluster answers
+// against it element-by-element — acknowledged writes must never be
+// lost, and nothing the oracle never sent may appear.
+//
+// Uncertainty is essential under chaos: a SIGKILL can land after the
+// server applied a write but before the client read the response, so
+// a client-visible error proves nothing either way. Such elements are
+// allowed in both worlds until a quiesced check observes the
+// authoritative state and resolves them.
+type oracle struct {
+	mu    sync.Mutex
+	lists map[zerber.ListID]map[string]entryState
+	// counts of current entries per state (cheap report numbers).
+	present   int
+	uncertain int
+}
+
+func newOracle() *oracle {
+	return &oracle{lists: make(map[zerber.ListID]map[string]entryState)}
+}
+
+// listOf returns (creating) one list's entry map.
+func (o *oracle) listOf(list zerber.ListID) map[string]entryState {
+	m := o.lists[list]
+	if m == nil {
+		m = make(map[string]entryState)
+		o.lists[list] = m
+	}
+	return m
+}
+
+// set transitions one entry, maintaining the counters.
+func (o *oracle) set(m map[string]entryState, sealed string, s entryState) {
+	if prev, ok := m[sealed]; ok {
+		o.drop(prev)
+	}
+	m[sealed] = s
+	if s == statePresent {
+		o.present++
+	} else {
+		o.uncertain++
+	}
+}
+
+func (o *oracle) drop(s entryState) {
+	if s == statePresent {
+		o.present--
+	} else {
+		o.uncertain--
+	}
+}
+
+// insertAcked records an acknowledged insert.
+func (o *oracle) insertAcked(list zerber.ListID, sealed []byte) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.set(o.listOf(list), string(sealed), statePresent)
+}
+
+// insertFailed records an ambiguous insert failure.
+func (o *oracle) insertFailed(list zerber.ListID, sealed []byte) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.set(o.listOf(list), string(sealed), stateUncertainInsert)
+}
+
+// removeAcked records an acknowledged remove: the element must be gone.
+func (o *oracle) removeAcked(list zerber.ListID, sealed []byte) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	m := o.listOf(list)
+	if prev, ok := m[string(sealed)]; ok {
+		o.drop(prev)
+		delete(m, string(sealed))
+	}
+}
+
+// removeFailed records an ambiguous remove failure of a previously
+// present element.
+func (o *oracle) removeFailed(list zerber.ListID, sealed []byte) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.set(o.listOf(list), string(sealed), stateUncertainRemove)
+}
+
+// snapshotLists returns the IDs of every list the oracle has entries
+// for (sorted order is the caller's business).
+func (o *oracle) snapshotLists() []zerber.ListID {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]zerber.ListID, 0, len(o.lists))
+	for l, m := range o.lists {
+		if len(m) > 0 {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// counts reports current (present, uncertain) entry totals.
+func (o *oracle) counts() (present, uncertain int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.present, o.uncertain
+}
+
+// checkList compares one list's served elements (as a set of sealed
+// bytes) against the oracle and returns human-readable violations:
+// a served element the oracle never sent, or a present entry the
+// server lost. Must only be called while the workload is quiesced.
+func (o *oracle) checkList(list zerber.ListID, served map[string]bool, member string) []string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	m := o.lists[list]
+	var out []string
+	for sealed := range served {
+		if _, ok := m[sealed]; !ok {
+			out = append(out, fmt.Sprintf("list %d on %s: served element the oracle never inserted", list, member))
+		}
+	}
+	for sealed, st := range m {
+		if st == statePresent && !served[sealed] {
+			out = append(out, fmt.Sprintf("list %d on %s: acknowledged element lost", list, member))
+		}
+	}
+	return out
+}
+
+// resolveList settles one list's uncertain entries against the
+// primary's authoritative served set: an uncertain insert the primary
+// does not hold is confirmed rejected (dropped); an uncertain remove
+// the primary no longer holds is confirmed applied (dropped). Entries
+// the primary holds stay uncertain — replicas that never received the
+// ambiguous write may legitimately lack them, so promoting to present
+// would manufacture false violations on the next member check.
+func (o *oracle) resolveList(list zerber.ListID, primaryServed map[string]bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	m := o.lists[list]
+	for sealed, st := range m {
+		if st == statePresent || primaryServed[sealed] {
+			continue
+		}
+		o.drop(st)
+		delete(m, sealed)
+	}
+}

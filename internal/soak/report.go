@@ -1,0 +1,135 @@
+package soak
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// Report is the one-line JSON summary a soak run emits. OK is the
+// single pass/fail bit CI asserts on: within error budget and zero
+// invariant violations of any class.
+type Report struct {
+	DurationSec float64 `json:"duration_sec"`
+
+	// Load.
+	Ops            uint64  `json:"ops"`
+	Searches       uint64  `json:"searches"`
+	ProvedSearches uint64  `json:"proved_searches"`
+	Inserts        uint64  `json:"inserts"`
+	Removes        uint64  `json:"removes"`
+	RemovesSkipped uint64  `json:"removes_skipped"`
+	OpsPerSec      float64 `json:"ops_per_sec"`
+
+	// Error budget (SLO).
+	Errors       uint64            `json:"errors"`
+	ErrorRate    float64           `json:"error_rate"`
+	ErrorBudget  float64           `json:"error_budget"`
+	ErrorsByKind map[string]uint64 `json:"errors_by_kind,omitempty"`
+
+	// Latency, milliseconds.
+	SearchP50Ms float64 `json:"search_p50_ms"`
+	SearchP99Ms float64 `json:"search_p99_ms"`
+	WriteP50Ms  float64 `json:"write_p50_ms"`
+	WriteP99Ms  float64 `json:"write_p99_ms"`
+
+	// Faults injected.
+	PrimaryKills     uint64 `json:"primary_kills"`
+	ReplicaKills     uint64 `json:"replica_kills"`
+	Restarts         uint64 `json:"restarts"`
+	Migrations       uint64 `json:"migrations"`
+	MigrationsFailed uint64 `json:"migrations_failed"`
+	Resyncs          uint64 `json:"resyncs"`
+
+	// Invariants.
+	IdentityChecks     uint64   `json:"identity_checks"`
+	IdentityViolations uint64   `json:"identity_violations"`
+	IdentitySamples    []string `json:"identity_samples,omitempty"`
+	EpochObserved      uint64   `json:"epoch_windows_observed"`
+	EpochViolations    uint64   `json:"epoch_violations"`
+	EpochSamples       []string `json:"epoch_samples,omitempty"`
+	ProofViolations    uint64   `json:"proof_violations"`
+	ProofSamples       []string `json:"proof_samples,omitempty"`
+
+	// Oracle state at the end (present = must-serve elements).
+	OraclePresent   int `json:"oracle_present"`
+	OracleUncertain int `json:"oracle_uncertain"`
+
+	OK bool `json:"ok"`
+}
+
+// JSON renders the report as one line (no trailing newline).
+func (r *Report) JSON() string {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return `{"ok":false,"error":"report marshal failed"}`
+	}
+	return string(b)
+}
+
+// report assembles the final Report from the run's counters.
+func (r *run) report(elapsed time.Duration) *Report {
+	ops := r.ops.Load()
+	errs := r.errTotal.Load()
+	rate := 0.0
+	if ops > 0 {
+		rate = float64(errs) / float64(ops)
+	}
+	r.emu.Lock()
+	byKind := make(map[string]uint64, len(r.byClass))
+	for k, v := range r.byClass {
+		byKind[k] = v
+	}
+	psamples := append([]string(nil), r.psamples...)
+	r.emu.Unlock()
+	present, uncertain := r.orc.counts()
+	r.ch.vmu.Lock()
+	idSamples := append([]string(nil), r.ch.samples...)
+	r.ch.vmu.Unlock()
+
+	rep := &Report{
+		DurationSec: elapsed.Seconds(),
+
+		Ops:            ops,
+		Searches:       r.searches.Load(),
+		ProvedSearches: r.proved.Load(),
+		Inserts:        r.inserts.Load(),
+		Removes:        r.removes.Load(),
+		RemovesSkipped: r.removesSkipped.Load(),
+		OpsPerSec:      float64(ops) / elapsed.Seconds(),
+
+		Errors:       errs,
+		ErrorRate:    rate,
+		ErrorBudget:  r.cfg.ErrorBudget,
+		ErrorsByKind: byKind,
+
+		SearchP50Ms: r.searchLat.Quantile(0.50),
+		SearchP99Ms: r.searchLat.Quantile(0.99),
+		WriteP50Ms:  r.writeLat.Quantile(0.50),
+		WriteP99Ms:  r.writeLat.Quantile(0.99),
+
+		PrimaryKills:     r.ch.primaryKills.Load(),
+		ReplicaKills:     r.ch.replicaKills.Load(),
+		Restarts:         r.ch.restarts.Load(),
+		Migrations:       r.ch.migrations.Load(),
+		MigrationsFailed: r.ch.migrationsFailed.Load(),
+		Resyncs:          r.ch.resyncs.Load(),
+
+		IdentityChecks:     r.ch.identityChecks.Load(),
+		IdentityViolations: r.ch.identityViolations.Load(),
+		IdentitySamples:    idSamples,
+		EpochObserved:      r.checker.observed.Load(),
+		EpochViolations:    r.checker.violations.Load(),
+		EpochSamples:       r.checker.samples(),
+		ProofViolations:    r.proofViolations.Load(),
+		ProofSamples:       psamples,
+
+		OraclePresent:   present,
+		OracleUncertain: uncertain,
+	}
+	rep.OK = rep.ErrorRate <= rep.ErrorBudget &&
+		rep.IdentityViolations == 0 &&
+		rep.EpochViolations == 0 &&
+		rep.ProofViolations == 0 &&
+		rep.MigrationsFailed == 0
+	return rep
+}

@@ -1,0 +1,238 @@
+package workload
+
+// Stream extends the static Generate → *Log shape to the unbounded,
+// closed-loop shape the soak harness drives: an infinite, seeded,
+// resumable sequence of mixed search/insert/remove operations issued
+// by a Zipf-distributed population of simulated users (millions by
+// default — the head users dominate the op stream, the long tail
+// appears once or twice, like a real web workload).
+
+import (
+	"iter"
+
+	"zerberr/internal/corpus"
+	"zerberr/internal/stats"
+)
+
+// OpKind classifies one streamed operation.
+type OpKind uint8
+
+const (
+	// OpSearch is a multi-term top-k query.
+	OpSearch OpKind = iota
+	// OpInsert indexes a fresh synthetic document owned by the user.
+	OpInsert
+	// OpRemove deletes a document a previous OpInsert of the same user
+	// emitted (Op.Doc points at that exact document, so the consumer
+	// can correlate by Doc.ID without bookkeeping of its own).
+	OpRemove
+)
+
+// String names the kind for logs and reports.
+func (k OpKind) String() string {
+	switch k {
+	case OpSearch:
+		return "search"
+	case OpInsert:
+		return "insert"
+	case OpRemove:
+		return "remove"
+	}
+	return "unknown"
+}
+
+// Op is one operation of the stream.
+type Op struct {
+	// Seq is the operation's position in the stream (the resume
+	// cursor: Stream with Config.Start = s yields the suffix of the
+	// same stream starting at Seq == s).
+	Seq uint64
+	// User is the simulated user identity issuing the op. Identities
+	// are Zipf ranks over Config.Users: user 0 is the most active.
+	User uint64
+	// Kind selects which of the following fields is meaningful.
+	Kind OpKind
+	// Terms is the query (OpSearch).
+	Terms []corpus.TermID
+	// Doc is the document to index (OpInsert) or the previously
+	// inserted document to delete (OpRemove).
+	Doc *corpus.Document
+}
+
+// StreamConfig parameterizes Stream. The zero value takes the
+// defaults documented per field.
+type StreamConfig struct {
+	// Users is the simulated user population (default 1,000,000).
+	Users int
+	// UserZipfS is the user-activity exponent (default 1.0): a few
+	// head users issue most of the traffic.
+	UserZipfS float64
+	// SearchFrac, InsertFrac and RemoveFrac are the op mix (defaults
+	// 0.90/0.07/0.03; they are normalized if they do not sum to 1). A
+	// remove drawn for a user with no live inserted documents is
+	// emitted as an insert instead, so the mutation volume is
+	// preserved and every OpRemove targets a document that is really
+	// live.
+	SearchFrac, InsertFrac, RemoveFrac float64
+	// MeanTerms, ZipfS, QueryVocab and RankNoise parameterize the
+	// query-term sampler exactly like Config (defaults 2.4, 1.1,
+	// quarter of the vocabulary, 0.35).
+	MeanTerms  float64
+	ZipfS      float64
+	QueryVocab int
+	RankNoise  float64
+	// DocMeanTerms is the mean number of distinct terms per inserted
+	// document (default 12).
+	DocMeanTerms float64
+	// Groups bounds the collaboration-group space documents are
+	// assigned to (a user always inserts into user % Groups); zero
+	// means the corpus's group count.
+	Groups int
+	// FirstDocID is the first document ID minted for inserted
+	// documents; zero means just past the corpus (so streamed IDs
+	// never collide with indexed corpus documents).
+	FirstDocID corpus.DocID
+	// MaxLiveDocsPerUser bounds the per-user set of removable
+	// documents (default 32): when full, the oldest tracked document
+	// is forgotten (it simply stops being a remove candidate).
+	MaxLiveDocsPerUser int
+	// Start is the resume cursor: ops with Seq < Start are generated
+	// (the stream's internal state must replay) but not yielded.
+	Start uint64
+}
+
+// DefaultStreamConfig returns the soak-harness defaults.
+func DefaultStreamConfig() StreamConfig {
+	return StreamConfig{
+		Users:      1_000_000,
+		UserZipfS:  1.0,
+		SearchFrac: 0.90,
+		InsertFrac: 0.07,
+		RemoveFrac: 0.03,
+	}
+}
+
+// withDefaults fills zero fields against the corpus.
+func (cfg StreamConfig) withDefaults(c *corpus.Corpus) StreamConfig {
+	def := DefaultStreamConfig()
+	if cfg.Users <= 0 {
+		cfg.Users = def.Users
+	}
+	if cfg.UserZipfS <= 0 {
+		cfg.UserZipfS = def.UserZipfS
+	}
+	if cfg.SearchFrac <= 0 && cfg.InsertFrac <= 0 && cfg.RemoveFrac <= 0 {
+		cfg.SearchFrac, cfg.InsertFrac, cfg.RemoveFrac = def.SearchFrac, def.InsertFrac, def.RemoveFrac
+	}
+	if sum := cfg.SearchFrac + cfg.InsertFrac + cfg.RemoveFrac; sum > 0 && sum != 1 {
+		cfg.SearchFrac /= sum
+		cfg.InsertFrac /= sum
+		cfg.RemoveFrac /= sum
+	}
+	if cfg.MeanTerms <= 0 {
+		cfg.MeanTerms = 2.4
+	}
+	if cfg.ZipfS <= 0 {
+		cfg.ZipfS = 1.1
+	}
+	if cfg.RankNoise <= 0 {
+		cfg.RankNoise = 0.35
+	}
+	if cfg.DocMeanTerms <= 0 {
+		cfg.DocMeanTerms = 12
+	}
+	if cfg.Groups <= 0 {
+		cfg.Groups = c.Groups
+	}
+	if cfg.Groups <= 0 {
+		cfg.Groups = 1
+	}
+	if cfg.FirstDocID == 0 {
+		cfg.FirstDocID = corpus.DocID(c.NumDocs())
+	}
+	if cfg.MaxLiveDocsPerUser <= 0 {
+		cfg.MaxLiveDocsPerUser = 32
+	}
+	return cfg
+}
+
+// Stream yields an endless operation stream against the corpus. The
+// stream is deterministic per (cfg, seed): two streams built from the
+// same arguments yield identical operations, which is what makes a
+// soak run reproducible and the stream resumable — to continue after
+// op N, rebuild with Config.Start = N and the suffix is identical to
+// what an uninterrupted stream would have yielded (internal state is
+// replayed, no ops are re-emitted).
+//
+// The sequence is single-use and infinite; consumers range and break.
+func Stream(c *corpus.Corpus, cfg StreamConfig, seed uint64) iter.Seq[Op] {
+	return func(yield func(Op) bool) {
+		cfg = cfg.withDefaults(c)
+		g := stats.NewRNG(seed).Split("workload-stream")
+		ts := newTermSampler(c, cfg.QueryVocab, cfg.ZipfS, cfg.RankNoise, g)
+		if !ts.ok() {
+			return
+		}
+		userZ := stats.NewZipf(g, cfg.Users, cfg.UserZipfS)
+		// live tracks each user's removable documents. Bounded per
+		// user; across users it grows with the set of users that ever
+		// inserted, which the Zipf head keeps concentrated in practice.
+		live := make(map[uint64][]*corpus.Document)
+		nextDoc := cfg.FirstDocID
+		synth := func(user uint64) *corpus.Document {
+			n := queryLength(g, cfg.DocMeanTerms)
+			terms := ts.draw(n)
+			tf := make(map[corpus.TermID]int, len(terms))
+			total := 0
+			for _, t := range terms {
+				f := 1 + g.Intn(4)
+				tf[t] = f
+				total += f
+			}
+			d := &corpus.Document{
+				ID:     nextDoc,
+				Group:  int(user % uint64(cfg.Groups)),
+				Length: total * 25, // plausible NormTF normalizer
+				TF:     tf,
+			}
+			nextDoc++
+			return d
+		}
+		insert := func(user uint64) Op {
+			d := synth(user)
+			docs := append(live[user], d)
+			if len(docs) > cfg.MaxLiveDocsPerUser {
+				docs = docs[1:] // forget the oldest remove candidate
+			}
+			live[user] = docs
+			return Op{User: user, Kind: OpInsert, Doc: d}
+		}
+		for seq := uint64(0); ; seq++ {
+			user := uint64(userZ.Next())
+			r := g.Float64()
+			var op Op
+			switch {
+			case r < cfg.SearchFrac:
+				op = Op{User: user, Kind: OpSearch, Terms: ts.draw(queryLength(g, cfg.MeanTerms))}
+			case r < cfg.SearchFrac+cfg.InsertFrac:
+				op = insert(user)
+			default:
+				docs := live[user]
+				if len(docs) == 0 {
+					// Nothing of this user's to remove yet: keep the
+					// mutation budget by inserting instead.
+					op = insert(user)
+					break
+				}
+				i := g.Intn(len(docs))
+				d := docs[i]
+				live[user] = append(docs[:i:i], docs[i+1:]...)
+				op = Op{User: user, Kind: OpRemove, Doc: d}
+			}
+			op.Seq = seq
+			if seq >= cfg.Start && !yield(op) {
+				return
+			}
+		}
+	}
+}

@@ -78,8 +78,44 @@ func Generate(c *corpus.Corpus, cfg Config, seed uint64) *Log {
 	if cfg.RankNoise <= 0 {
 		cfg.RankNoise = 0.35
 	}
+	ts := newTermSampler(c, cfg.QueryVocab, cfg.ZipfS, cfg.RankNoise, g)
+	if !ts.ok() {
+		return &Log{freq: map[corpus.TermID]int{}}
+	}
+	log := &Log{
+		Queries: make([]Query, cfg.NumQueries),
+		freq:    make(map[corpus.TermID]int),
+	}
+	for i := range log.Queries {
+		terms := ts.draw(queryLength(g, cfg.MeanTerms))
+		log.Queries[i] = Query{Terms: terms}
+		for _, t := range terms {
+			log.freq[t]++
+			log.totalTermOccurrences++
+		}
+	}
+	return log
+}
+
+// termSampler draws query terms Zipf-distributed over a noisy
+// df-derived popularity ranking. It is the shared sampling core of
+// Generate (static logs) and Stream (unbounded op streams); both build
+// it from their own RNG, so their streams stay independent yet
+// per-seed deterministic.
+type termSampler struct {
+	ranked []corpus.TermID
+	zipf   *stats.Zipf
+}
+
+// newTermSampler ranks the corpus's queried vocabulary (df order
+// perturbed multiplicatively by lognormal noise — the imperfect
+// df/query-frequency correlation of Section 5.2) and arms a finite
+// Zipf sampler over the ranks. The noise draws consume g in rank
+// order, so Generate's output for a given seed is unchanged by the
+// factoring.
+func newTermSampler(c *corpus.Corpus, queryVocab int, zipfS, rankNoise float64, g *stats.RNG) *termSampler {
 	byDF := c.TermsByDF()
-	vocab := cfg.QueryVocab
+	vocab := queryVocab
 	if vocab <= 0 {
 		vocab = len(byDF) / 4
 	}
@@ -87,16 +123,15 @@ func Generate(c *corpus.Corpus, cfg Config, seed uint64) *Log {
 		vocab = len(byDF)
 	}
 	if vocab == 0 {
-		return &Log{freq: map[corpus.TermID]int{}}
+		return &termSampler{}
 	}
-	// Query-popularity order: df order perturbed multiplicatively.
 	type ranked struct {
 		term corpus.TermID
 		key  float64
 	}
 	rankedTerms := make([]ranked, vocab)
 	for i := 0; i < vocab; i++ {
-		noisy := float64(i+1) * g.LogNormal(0, cfg.RankNoise)
+		noisy := float64(i+1) * g.LogNormal(0, rankNoise)
 		rankedTerms[i] = ranked{term: byDF[i], key: noisy}
 	}
 	sort.Slice(rankedTerms, func(i, j int) bool {
@@ -105,30 +140,32 @@ func Generate(c *corpus.Corpus, cfg Config, seed uint64) *Log {
 		}
 		return rankedTerms[i].term < rankedTerms[j].term
 	})
-	zipf := stats.NewZipf(g, vocab, cfg.ZipfS)
-	log := &Log{
-		Queries: make([]Query, cfg.NumQueries),
-		freq:    make(map[corpus.TermID]int),
+	out := &termSampler{ranked: make([]corpus.TermID, vocab), zipf: stats.NewZipf(g, vocab, zipfS)}
+	for i, r := range rankedTerms {
+		out.ranked[i] = r.term
 	}
-	for i := range log.Queries {
-		n := queryLength(g, cfg.MeanTerms)
-		terms := make([]corpus.TermID, 0, n)
-		seen := make(map[corpus.TermID]bool, n)
-		for len(terms) < n {
-			t := rankedTerms[zipf.Next()].term
-			if seen[t] {
-				continue
-			}
-			seen[t] = true
-			terms = append(terms, t)
-		}
-		log.Queries[i] = Query{Terms: terms}
-		for _, t := range terms {
-			log.freq[t]++
-			log.totalTermOccurrences++
-		}
+	return out
+}
+
+// ok reports whether the corpus had any queryable vocabulary.
+func (ts *termSampler) ok() bool { return len(ts.ranked) > 0 }
+
+// draw samples n distinct terms (clamped to the queryable vocabulary).
+func (ts *termSampler) draw(n int) []corpus.TermID {
+	if n > len(ts.ranked) {
+		n = len(ts.ranked)
 	}
-	return log
+	terms := make([]corpus.TermID, 0, n)
+	seen := make(map[corpus.TermID]bool, n)
+	for len(terms) < n {
+		t := ts.ranked[ts.zipf.Next()]
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		terms = append(terms, t)
+	}
+	return terms
 }
 
 // queryLength draws a positive query length with the given mean:

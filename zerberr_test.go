@@ -1,9 +1,11 @@
 package zerberr
 
 import (
+	"context"
 	"math"
 	"testing"
 
+	"zerberr/internal/client"
 	"zerberr/internal/corpus"
 	"zerberr/internal/workload"
 )
@@ -54,7 +56,7 @@ func TestSystemEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	term := sys.Corpus.TermsByDF()[3]
-	got, stats, err := cl.TopK(term, 10)
+	got, stats, err := cl.Search(context.Background(), []corpus.TermID{term}, 10, client.WithSerial())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +81,7 @@ func TestNewClientGroupScoping(t *testing.T) {
 		t.Fatal(err)
 	}
 	term := sys.Corpus.TermsByDF()[0]
-	got, _, err := cl.TopK(term, sys.Corpus.NumDocs())
+	got, _, err := cl.Search(context.Background(), []corpus.TermID{term}, sys.Corpus.NumDocs(), client.WithSerial())
 	if err != nil {
 		t.Fatal(err)
 	}
